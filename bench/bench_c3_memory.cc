@@ -1,0 +1,80 @@
+// C3 — Section 4.2: "Spark jobs consumed 5-10 times more memory than a
+// corresponding Flink job for the same workload."
+//
+// Runs the identical keyed windowed aggregation through (a) the incremental
+// dataflow engine (constant-size accumulators per live window) and (b) the
+// micro-batch baseline that materializes every raw record of each live
+// window, and compares peak state footprints as records-per-window grows.
+
+#include <mutex>
+
+#include "bench_util.h"
+#include "compute/baselines.h"
+#include "compute/job_runner.h"
+#include "stream/broker.h"
+
+namespace uberrt {
+
+int Main() {
+  bench::Header("C3", "windowed aggregation peak memory: micro-batch vs incremental",
+                "Spark consumed 5-10x more memory than the Flink equivalent");
+  RowSchema schema({{"key", ValueType::kString},
+                    {"v", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+  std::printf("%-22s %16s %16s %8s\n", "records_per_window", "incremental_peak",
+              "microbatch_peak", "ratio");
+  for (int per_window : {5, 10, 20, 50}) {
+    stream::Broker broker("c1");
+    storage::InMemoryObjectStore store;
+    stream::TopicConfig config;
+    config.num_partitions = 2;
+    broker.CreateTopic("events", config).ok();
+    const int kKeys = 50, kWindows = 4;
+    for (int w = 0; w < kWindows; ++w) {
+      for (int i = 0; i < kKeys * per_window; ++i) {
+        std::string key = "k" + std::to_string(i % kKeys);
+        stream::Message m;
+        m.key = key;
+        int64_t ts = w * 60'000 + (i / kKeys) * 100;
+        m.value = EncodeRow({Value(key), Value(1.5), Value(ts)});
+        m.timestamp = ts;
+        broker.Produce("events", std::move(m)).ok();
+      }
+    }
+    compute::SourceSpec source;
+    source.topic = "events";
+    source.schema = schema;
+    source.time_field = "ts";
+    std::vector<compute::AggregateSpec> aggs = {
+        compute::AggregateSpec::Count("n"), compute::AggregateSpec::Sum("v", "s"),
+        compute::AggregateSpec::Avg("v", "a")};
+
+    // Incremental engine.
+    compute::JobGraph graph("inc");
+    graph.AddSource(source).WindowAggregate("agg", {"key"},
+                                            compute::WindowSpec::Tumbling(60'000), aggs);
+    graph.SinkToCollector([](const Row&, TimestampMs) {});
+    compute::JobRunner runner(graph, &broker, &store);
+    runner.Start().ok();
+    runner.RequestFinish();
+    runner.AwaitTermination(30'000).ok();
+    int64_t incremental = runner.PeakStateBytes();
+
+    // Micro-batch baseline over the same topic.
+    Result<compute::MicroBatchReport> report = compute::RunMicroBatchWindowAggregate(
+        &broker, source, {"key"}, compute::WindowSpec::Tumbling(60'000), aggs);
+    int64_t microbatch = report.ok() ? report.value().peak_buffered_bytes : -1;
+
+    std::printf("%-22d %16lld %16lld %7.1fx\n", per_window,
+                static_cast<long long>(incremental), static_cast<long long>(microbatch),
+                static_cast<double>(microbatch) / std::max<int64_t>(1, incremental));
+  }
+  bench::Note("incremental state is O(live windows x keys); micro-batch state is "
+              "O(records per live window) — the gap widens with window volume, "
+              "covering the paper's 5-10x at realistic per-window volumes");
+  return 0;
+}
+
+}  // namespace uberrt
+
+int main() { return uberrt::Main(); }

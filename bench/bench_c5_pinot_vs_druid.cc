@@ -1,0 +1,124 @@
+// C5 — Section 4.3 comparison with Druid: "Pinot ... has incorporated
+// optimized data structures such as bit compressed forward indices, for
+// lowering the data footprint. It also uses specialized indices for faster
+// query execution such as Startree, sorted and range indices, which could
+// result in order of magnitude difference of query latency."
+//
+// Builds the same data as (a) a Pinot-like segment with star-tree + sorted
+// + bit-packed indexes and (b) a Druid-like segment (dictionary + inverted
+// only, plain 32-bit forward index), then compares aggregation latency per
+// index ablation and the data footprint.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "olap/baselines.h"
+#include "olap/segment.h"
+
+namespace uberrt {
+namespace {
+
+using olap::FilterPredicate;
+using olap::OlapAggregation;
+using olap::OlapQuery;
+using olap::Segment;
+using olap::SegmentIndexConfig;
+
+RowSchema TripSchema() {
+  return RowSchema({{"hex", ValueType::kString},
+                    {"status", ValueType::kString},
+                    {"fare", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+}
+
+std::vector<Row> MakeRows(int64_t n) {
+  Rng rng(11);
+  std::vector<Row> rows;
+  const char* statuses[] = {"requested", "accepted", "completed", "canceled"};
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value("hex" + std::to_string(rng.Zipf(60, 1.1))),
+                    Value(std::string(statuses[rng.Uniform(0, 3)])),
+                    Value(5.0 + rng.NextDouble() * 40),
+                    Value(rng.Uniform(0, 3'600'000))});
+  }
+  return rows;
+}
+
+double QueryUs(const std::shared_ptr<Segment>& segment, const OlapQuery& query,
+               olap::OlapQueryStats* stats) {
+  return bench::MeanUs(30, [&] {
+    olap::OlapQueryStats s;
+    segment->Execute(query, nullptr, &s).ok();
+    *stats = s;
+  });
+}
+
+}  // namespace
+
+int Main() {
+  bench::Header("C5", "Pinot-like indexes vs Druid-like plain column store",
+                "star-tree/sorted/range indexes: order-of-magnitude latency gap; "
+                "bit-packed forward index: lower footprint");
+  constexpr int64_t kRows = 200'000;
+  std::vector<Row> rows = MakeRows(kRows);
+
+  SegmentIndexConfig pinot_config;
+  pinot_config.inverted_columns = {"status"};
+  pinot_config.sorted_column = "hex";
+  pinot_config.star_tree_dimensions = {"hex", "status"};
+  pinot_config.star_tree_metrics = {"fare"};
+  auto pinot = Segment::Build("pinot", TripSchema(), rows, pinot_config).value();
+  auto druid = Segment::Build("druid", TripSchema(), rows,
+                              olap::DruidLikeIndexConfig({"status"}))
+                   .value();
+
+  // Query 1: aggregation + group-by answerable from the star-tree.
+  OlapQuery cube;
+  cube.group_by = {"hex"};
+  cube.aggregations = {OlapAggregation::Count("n"), OlapAggregation::Sum("fare", "s")};
+  // Query 2: EQ filter on the sorted column.
+  OlapQuery sorted_eq;
+  sorted_eq.aggregations = {OlapAggregation::Sum("fare", "s")};
+  sorted_eq.filters = {FilterPredicate::Eq("hex", Value("hex3"))};
+  // Query 3: range predicate (served by the inverted/range path vs scan).
+  OlapQuery range;
+  range.aggregations = {OlapAggregation::Count("n")};
+  range.filters = {FilterPredicate::Range("hex", FilterPredicate::Op::kLe,
+                                          Value("hex2"))};
+
+  struct Case {
+    const char* name;
+    const OlapQuery* query;
+  } cases[] = {{"groupby_agg (star-tree)", &cube},
+               {"eq_filter (sorted idx)", &sorted_eq},
+               {"range_filter (range idx)", &range}};
+
+  std::printf("%-28s %12s %12s %9s %s\n", "query", "pinot_us", "druid_us", "speedup",
+              "pinot path");
+  for (const Case& c : cases) {
+    olap::OlapQueryStats pinot_stats, druid_stats;
+    double pinot_us = QueryUs(pinot, *c.query, &pinot_stats);
+    double druid_us = QueryUs(druid, *c.query, &druid_stats);
+    const char* path = pinot_stats.star_tree_hits > 0
+                           ? "star-tree (0 rows scanned)"
+                           : (pinot_stats.rows_scanned < kRows / 10 ? "index" : "scan");
+    std::printf("%-28s %12.1f %12.1f %8.1fx %s\n", c.name, pinot_us, druid_us,
+                druid_us / pinot_us, path);
+  }
+
+  std::printf("\n%-28s %14s %14s %8s\n", "footprint", "pinot", "druid", "ratio");
+  std::printf("%-28s %14lld %14lld %7.2fx\n", "memory_bytes",
+              static_cast<long long>(pinot->MemoryBytes()),
+              static_cast<long long>(druid->MemoryBytes()),
+              static_cast<double>(druid->MemoryBytes()) / pinot->MemoryBytes());
+  std::printf("%-28s %14lld %14lld %7.2fx\n", "disk_bytes",
+              static_cast<long long>(pinot->DiskBytes()),
+              static_cast<long long>(druid->DiskBytes()),
+              static_cast<double>(druid->DiskBytes()) / pinot->DiskBytes());
+  bench::Note("druid-like = dictionary + inverted index, 32-bit forward index, "
+              "no star-tree/sorted/range specialization");
+  return 0;
+}
+
+}  // namespace uberrt
+
+int main() { return uberrt::Main(); }

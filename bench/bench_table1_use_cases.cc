@@ -1,0 +1,82 @@
+// T1 — Table 1: "The components used by the example use cases". Runs all
+// four Section 5 use cases against one platform and regenerates the matrix
+// from the layers each actor actually exercised, then diffs it against the
+// paper's table.
+
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "core/platform.h"
+#include "core/use_cases.h"
+#include "workload/generators.h"
+
+namespace uberrt {
+
+int Main() {
+  bench::Header("T1", "components used by the four Section 5 use cases",
+                "Table 1: Surge={API,Compute,Stream}; RestaurantManager="
+                "{SQL,OLAP,Compute,Stream,Storage}; PredictionMonitoring=all; "
+                "EatsOps={SQL,OLAP,Compute,Stream}");
+  core::RealtimePlatform platform;
+  core::SurgePricingApp surge(&platform);
+  core::RestaurantManagerApp restaurant(&platform);
+  core::PredictionMonitoringApp prediction(&platform);
+  core::EatsOpsAutomationApp ops(&platform);
+  surge.Start().ok();
+  restaurant.Start().ok();
+  prediction.Start().ok();
+
+  workload::TripEventGenerator trips({});
+  trips.Produce(platform.streams(), "trips", 1'500).ok();
+  workload::EatsOrderGenerator orders({});
+  orders.Produce(platform.streams(), "eats_orders", 1'500).ok();
+  workload::PredictionGenerator predictions({});
+  predictions.ProducePairs(platform.streams(), "predictions", "outcomes", 600).ok();
+
+  for (const compute::JobInfo& info : platform.jobs()->ListJobs()) {
+    compute::JobRunner* runner = platform.jobs()->GetRunner(info.id);
+    runner->WaitUntilCaughtUp(120'000).ok();
+    runner->RequestFinish();
+    runner->AwaitTermination(120'000).ok();
+  }
+  platform.PumpUntilIngested().ok();
+
+  prediction.AccuracyByModel().ok();
+  ops.Explore("SELECT COUNT(*) FROM eats_rollup").ok();
+  ops.AddRule({"busy_city", "SELECT SUM(orders) FROM eats_rollup", 10.0, true}).ok();
+  ops.EvaluateRules().ok();
+  ops.StartPreprocessing("eats_orders", "ops_rollup").ok();
+
+  std::vector<std::string> actors = {
+      core::SurgePricingApp::kActor, core::RestaurantManagerApp::kActor,
+      core::PredictionMonitoringApp::kActor, core::EatsOpsAutomationApp::kActor};
+  std::printf("%s\n", platform.RenderComponentTable(actors).c_str());
+
+  // Diff against the paper's Table 1.
+  std::map<std::string, std::set<std::string>> paper = {
+      {core::SurgePricingApp::kActor,
+       {core::kLayerApi, core::kLayerCompute, core::kLayerStream}},
+      {core::RestaurantManagerApp::kActor,
+       {core::kLayerSql, core::kLayerOlap, core::kLayerCompute, core::kLayerStream,
+        core::kLayerStorage}},
+      {core::PredictionMonitoringApp::kActor,
+       {core::kLayerApi, core::kLayerSql, core::kLayerOlap, core::kLayerCompute,
+        core::kLayerStream, core::kLayerStorage}},
+      {core::EatsOpsAutomationApp::kActor,
+       {core::kLayerSql, core::kLayerOlap, core::kLayerCompute, core::kLayerStream}}};
+  bool exact = true;
+  for (const std::string& actor : actors) {
+    if (platform.LayersUsed(actor) != paper[actor]) {
+      exact = false;
+      std::printf("MISMATCH for %s\n", actor.c_str());
+    }
+  }
+  std::printf("matrix %s the paper's Table 1\n",
+              exact ? "exactly reproduces" : "DIFFERS from");
+  return exact ? 0 : 1;
+}
+
+}  // namespace uberrt
+
+int main() { return uberrt::Main(); }

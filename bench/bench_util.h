@@ -1,0 +1,40 @@
+#ifndef UBERRT_BENCH_BENCH_UTIL_H_
+#define UBERRT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace uberrt::bench {
+
+/// Wall-clock duration of `fn` in microseconds.
+inline int64_t TimeUs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start).count();
+}
+
+/// Runs `fn` `iters` times and returns mean microseconds.
+inline double MeanUs(int iters, const std::function<void()>& fn) {
+  int64_t total = 0;
+  for (int i = 0; i < iters; ++i) total += TimeUs(fn);
+  return static_cast<double>(total) / iters;
+}
+
+inline void Header(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace uberrt::bench
+
+#endif  // UBERRT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// Kappa+ backfill (paper Section 7): a bug fix requires reprocessing last
+// week's data, but Kafka only retains a few days. Kappa+ re-runs the
+// *unchanged* streaming job over the Hive-like archive with minor config
+// changes (bounded input, throttling, wider reorder window).
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/rng.h"
+#include "compute/backfill.h"
+#include "stream/broker.h"
+
+using namespace uberrt;
+
+int main() {
+  RowSchema schema({{"city", ValueType::kString},
+                    {"fare", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+  stream::Broker broker("kafka");
+  storage::InMemoryObjectStore store;
+  stream::TopicConfig topic;
+  topic.num_partitions = 4;
+  broker.CreateTopic("rides", topic).ok();
+
+  // Five archived days of history (the Hive tables of Section 4.4).
+  storage::ArchiveTable archive(&store, "rides", schema);
+  Rng rng(17);
+  std::vector<std::string> days;
+  for (int day = 0; day < 5; ++day) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 5'000; ++i) {
+      rows.push_back({Value(i % 3 == 0 ? std::string("sf") : std::string("nyc")),
+                      Value(8.0 + rng.NextDouble() * 30),
+                      Value(static_cast<int64_t>(day * 86'400'000LL +
+                                                 rng.Uniform(0, 86'399'000)))});
+    }
+    std::string partition = "2020-10-0" + std::to_string(day + 1);
+    archive.AppendBatch(partition, rows).ok();
+    days.push_back(partition);
+  }
+
+  // The production streaming job, exactly as it runs against Kafka —
+  // per-city hourly revenue. (Imagine its aggregation logic was just fixed
+  // and history must be recomputed.)
+  std::mutex mu;
+  std::map<std::string, double> revenue_by_city;
+  int64_t windows = 0;
+  compute::JobGraph job("hourly_revenue");
+  compute::SourceSpec source;
+  source.topic = "rides";
+  source.schema = schema;
+  source.time_field = "ts";
+  job.AddSource(source).WindowAggregate(
+      "hourly", {"city"}, compute::WindowSpec::Tumbling(3'600'000),
+      {compute::AggregateSpec::Count("rides"),
+       compute::AggregateSpec::Sum("fare", "revenue")});
+  job.SinkToCollector([&](const Row& row, TimestampMs) {
+    std::lock_guard<std::mutex> lock(mu);
+    revenue_by_city[row[0].AsString()] += row[3].AsDouble();
+    ++windows;
+  });
+
+  compute::KappaPlusBackfill backfill(&broker, &store);
+  compute::BackfillOptions options;
+  options.reorder_slack_ms = 86'400'000;  // archive partitions are unordered
+  options.max_inflight_records = 20'000;  // throttle the historic firehose
+  Result<compute::BackfillReport> report = backfill.Run(job, archive, days, options);
+  if (!report.ok()) {
+    std::printf("backfill failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("backfilled %lld archived records in %lld ms "
+              "(%lld output windows)\n",
+              static_cast<long long>(report.value().records_pumped),
+              static_cast<long long>(report.value().duration_ms),
+              static_cast<long long>(windows));
+  std::printf("\nrecomputed revenue by city:\n");
+  for (const auto& [city, revenue] : revenue_by_city) {
+    std::printf("  %-6s %12.2f\n", city.c_str(), revenue);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "allactive/coordinator.h"
+
+namespace uberrt::allactive {
+
+Status AllActiveCoordinator::RegisterService(const std::string& service,
+                                             const std::string& primary_region) {
+  if (topology_->GetRegion(primary_region) == nullptr) {
+    return Status::NotFound("no region: " + primary_region);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (primaries_.count(service) > 0) {
+    return Status::AlreadyExists("service registered: " + service);
+  }
+  primaries_[service] = primary_region;
+  return Status::Ok();
+}
+
+Result<std::string> AllActiveCoordinator::Primary(const std::string& service) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = primaries_.find(service);
+  if (it == primaries_.end()) return Status::NotFound("no service: " + service);
+  return it->second;
+}
+
+bool AllActiveCoordinator::IsPrimary(const std::string& service,
+                                     const std::string& region) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = primaries_.find(service);
+  return it != primaries_.end() && it->second == region;
+}
+
+Result<std::string> AllActiveCoordinator::Failover(const std::string& service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = primaries_.find(service);
+  if (it == primaries_.end()) return Status::NotFound("no service: " + service);
+  for (const std::string& candidate : topology_->RegionNames()) {
+    if (candidate == it->second) continue;
+    Region* region = topology_->GetRegion(candidate);
+    if (region != nullptr && region->healthy()) {
+      it->second = candidate;
+      ++failovers_;
+      return candidate;
+    }
+  }
+  return Status::Unavailable("no healthy region to fail over to");
+}
+
+int64_t AllActiveCoordinator::failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failovers_;
+}
+
+ActivePassiveConsumer::ActivePassiveConsumer(MultiRegionTopology* topology,
+                                             std::string group, std::string topic,
+                                             std::string initial_region)
+    : topology_(topology),
+      group_(std::move(group)),
+      topic_(std::move(topic)),
+      region_(std::move(initial_region)) {
+  OpenConsumer().ok();
+}
+
+Status ActivePassiveConsumer::OpenConsumer() {
+  Region* region = topology_->GetRegion(region_);
+  if (region == nullptr) return Status::NotFound("no region: " + region_);
+  consumer_ = std::make_unique<stream::Consumer>(region->aggregate(), group_, topic_,
+                                                 group_ + "@" + region_);
+  return consumer_->Subscribe();
+}
+
+Result<std::vector<stream::Message>> ActivePassiveConsumer::Poll(size_t max_messages) {
+  if (!consumer_) return Status::FailedPrecondition("consumer not open");
+  Result<std::vector<stream::Message>> batch = consumer_->Poll(max_messages);
+  if (!batch.ok()) return batch;
+  UBERRT_RETURN_IF_ERROR(consumer_->Commit());
+  return batch;
+}
+
+Status ActivePassiveConsumer::FailoverTo(const std::string& new_region) {
+  if (new_region == region_) return Status::InvalidArgument("already in " + new_region);
+  // Translate committed progress; the old region may already be down, which
+  // is fine — the mapping store lives outside the region.
+  Result<int64_t> synced =
+      topology_->SyncConsumerOffsets(group_, topic_, region_, new_region);
+  if (!synced.ok()) return synced.status();
+  if (consumer_) consumer_->Close().ok();
+  region_ = new_region;
+  return OpenConsumer();
+}
+
+}  // namespace uberrt::allactive

@@ -1,0 +1,74 @@
+#ifndef UBERRT_ALLACTIVE_COORDINATOR_H_
+#define UBERRT_ALLACTIVE_COORDINATOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "allactive/topology.h"
+#include "common/status.h"
+#include "stream/consumer.h"
+
+namespace uberrt::allactive {
+
+/// The "all-active coordinating service" of Figure 6: tracks which region's
+/// update service is primary for each service and fails over to a healthy
+/// region on demand. In active-active mode every region runs the full
+/// (compute-intensive) pipeline; only the primary's results are published.
+class AllActiveCoordinator {
+ public:
+  explicit AllActiveCoordinator(MultiRegionTopology* topology) : topology_(topology) {}
+
+  /// Registers a service with an initial primary region.
+  Status RegisterService(const std::string& service, const std::string& primary_region);
+
+  Result<std::string> Primary(const std::string& service) const;
+  bool IsPrimary(const std::string& service, const std::string& region) const;
+
+  /// Elects a new healthy primary (used when the current primary region is
+  /// down). Returns the new primary region.
+  Result<std::string> Failover(const std::string& service);
+
+  int64_t failovers() const;
+
+ private:
+  MultiRegionTopology* topology_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> primaries_;
+  int64_t failovers_ = 0;
+};
+
+/// Active/passive consumption (Section 6, Figure 7): a single logical
+/// consumer (unique name) reads the aggregate cluster of the primary region;
+/// on failover the offset sync job translates its committed progress to the
+/// new region and consumption resumes there with zero loss and a bounded
+/// replay window. Used by consistency-first services (payments, auditing).
+class ActivePassiveConsumer {
+ public:
+  ActivePassiveConsumer(MultiRegionTopology* topology, std::string group,
+                        std::string topic, std::string initial_region);
+
+  /// Polls from the current region's aggregate cluster and commits.
+  Result<std::vector<stream::Message>> Poll(size_t max_messages);
+
+  /// Fails over: syncs offsets from the old region to `new_region` and
+  /// reopens the consumer there.
+  Status FailoverTo(const std::string& new_region);
+
+  const std::string& current_region() const { return region_; }
+
+ private:
+  Status OpenConsumer();
+
+  MultiRegionTopology* topology_;
+  std::string group_;
+  std::string topic_;
+  std::string region_;
+  std::unique_ptr<stream::Consumer> consumer_;
+};
+
+}  // namespace uberrt::allactive
+
+#endif  // UBERRT_ALLACTIVE_COORDINATOR_H_

@@ -1,0 +1,104 @@
+#ifndef UBERRT_ALLACTIVE_TOPOLOGY_H_
+#define UBERRT_ALLACTIVE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/broker.h"
+#include "stream/ureplicator.h"
+
+namespace uberrt::allactive {
+
+/// One deployment region: a regional Kafka cluster receiving locally
+/// produced events and an aggregate cluster holding the global view (every
+/// region's regional data replicated in), per Section 6 / Figure 6.
+class Region {
+ public:
+  explicit Region(std::string name)
+      : name_(std::move(name)),
+        regional_(std::make_unique<stream::Broker>(name_ + "-regional")),
+        aggregate_(std::make_unique<stream::Broker>(name_ + "-aggregate")) {}
+
+  const std::string& name() const { return name_; }
+  stream::Broker* regional() { return regional_.get(); }
+  stream::Broker* aggregate() { return aggregate_.get(); }
+
+  /// Simulates losing the whole region (both clusters).
+  void Fail() {
+    regional_->SetAvailable(false);
+    aggregate_->SetAvailable(false);
+  }
+  void Restore() {
+    regional_->SetAvailable(true);
+    aggregate_->SetAvailable(true);
+  }
+  bool healthy() const { return regional_->available() && aggregate_->available(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<stream::Broker> regional_;
+  std::unique_ptr<stream::Broker> aggregate_;
+};
+
+/// The multi-region Kafka fabric of Section 6: every region's regional
+/// cluster replicates into *every* region's aggregate cluster via
+/// uReplicator (with offset-mapping checkpoints per route), so each
+/// aggregate cluster converges to the same logical content and any region
+/// can compute the global view.
+class MultiRegionTopology {
+ public:
+  explicit MultiRegionTopology(const std::vector<std::string>& region_names);
+
+  Region* GetRegion(const std::string& name);
+  std::vector<std::string> RegionNames() const;
+
+  /// Creates the topic in every regional and aggregate cluster and wires a
+  /// uReplicator per (source regional, destination aggregate) pair.
+  Status CreateTopic(const std::string& topic, stream::TopicConfig config);
+
+  /// Produces to a region's regional cluster (an app publishing locally).
+  Result<stream::ProduceResult> ProduceToRegion(const std::string& region,
+                                                const std::string& topic,
+                                                stream::Message message);
+
+  /// Pumps all replication routes once; returns messages moved. Routes
+  /// whose source or destination region is down are skipped.
+  Result<int64_t> ReplicateOnce();
+  /// Pumps until all healthy routes are drained.
+  Result<int64_t> ReplicateAll(int32_t max_cycles = 1000);
+
+  /// Route name for the mapping store ("<src>-regional><dst>-aggregate").
+  static std::string RouteName(const std::string& source_region,
+                               const std::string& destination_region);
+
+  stream::OffsetMappingStore* mapping_store() { return &mapping_store_; }
+
+  /// The offset sync job of Figure 7: translates `group`'s committed
+  /// offsets on `from_region`'s aggregate cluster into committed offsets on
+  /// `to_region`'s aggregate cluster, conservatively (min over source
+  /// routes) so failover loses nothing and replays only a bounded window.
+  /// Returns the number of partitions synced.
+  Result<int64_t> SyncConsumerOffsets(const std::string& group, const std::string& topic,
+                                      const std::string& from_region,
+                                      const std::string& to_region);
+
+ private:
+  struct Route {
+    std::string source_region;
+    std::string destination_region;
+    std::unique_ptr<stream::UReplicator> replicator;
+  };
+
+  std::vector<std::unique_ptr<Region>> regions_;
+  std::map<std::string, Region*> regions_by_name_;
+  std::vector<Route> routes_;
+  stream::OffsetMappingStore mapping_store_;
+};
+
+}  // namespace uberrt::allactive
+
+#endif  // UBERRT_ALLACTIVE_TOPOLOGY_H_

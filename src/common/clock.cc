@@ -1,0 +1,22 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace uberrt {
+
+TimestampMs SystemClock::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMs(int64_t duration_ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock* instance = new SystemClock();
+  return instance;
+}
+
+}  // namespace uberrt

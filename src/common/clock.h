@@ -1,0 +1,55 @@
+#ifndef UBERRT_COMMON_CLOCK_H_
+#define UBERRT_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace uberrt {
+
+/// Milliseconds since an arbitrary epoch. All timestamps in the system
+/// (event times, watermarks, retention, audit windows) use this unit.
+using TimestampMs = int64_t;
+
+/// Time source abstraction so that tests and deterministic benchmarks can
+/// drive time explicitly while production-style runs use the wall clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in milliseconds.
+  virtual TimestampMs NowMs() const = 0;
+  /// Blocks (or advances simulated time) for the given duration.
+  virtual void SleepMs(int64_t duration_ms) = 0;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  TimestampMs NowMs() const override;
+  void SleepMs(int64_t duration_ms) override;
+
+  /// Process-wide instance (never destroyed; see style rule on statics).
+  static SystemClock* Instance();
+};
+
+/// Manually-advanced clock for deterministic tests and simulations.
+/// Thread-safe: multiple threads may read while one advances.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(TimestampMs start_ms = 0) : now_ms_(start_ms) {}
+
+  TimestampMs NowMs() const override { return now_ms_.load(); }
+  /// SleepMs on a simulated clock advances time rather than blocking.
+  void SleepMs(int64_t duration_ms) override { AdvanceMs(duration_ms); }
+
+  void AdvanceMs(int64_t delta_ms) { now_ms_.fetch_add(delta_ms); }
+  void SetMs(TimestampMs now_ms) { now_ms_.store(now_ms); }
+
+ private:
+  std::atomic<TimestampMs> now_ms_;
+};
+
+}  // namespace uberrt
+
+#endif  // UBERRT_COMMON_CLOCK_H_

@@ -1,0 +1,44 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace uberrt {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : SnapshotValues()) {
+    os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace uberrt

@@ -1,0 +1,112 @@
+#ifndef UBERRT_COMMON_METRICS_H_
+#define UBERRT_COMMON_METRICS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uberrt {
+
+/// Monotonic counter (messages produced, bytes written, retries, ...).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_.fetch_add(delta); }
+  int64_t value() const { return value_.load(); }
+  void Reset() { value_.store(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time gauge (queue depth, consumer lag, state size, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v); }
+  void Add(int64_t delta) { value_.fetch_add(delta); }
+  int64_t value() const { return value_.load(); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency/size distribution with percentile queries. Stores raw samples;
+/// fine at laptop scale and keeps percentiles exact for the SLA benches.
+class Histogram {
+ public:
+  void Record(int64_t sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(sample);
+  }
+
+  size_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
+  /// Exact percentile over recorded samples; q in [0,100]. Returns 0 when
+  /// empty.
+  int64_t Percentile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) return 0;
+    std::vector<int64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q / 100.0 * static_cast<double>(sorted.size() - 1));
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  }
+
+  double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (int64_t s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  int64_t Max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int64_t> samples_;
+};
+
+/// Named metric registry. Each subsystem registers its counters here so the
+/// platform layer can expose per-use-case dashboards and chargeback
+/// (Section 9.3 of the paper). Objects returned are owned by the registry
+/// and live as long as it does.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Snapshot of all counter/gauge values, for dashboards and tests.
+  std::map<std::string, int64_t> SnapshotValues() const;
+
+  /// Renders a small text dashboard (name -> value) sorted by name.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace uberrt
+
+#endif  // UBERRT_COMMON_METRICS_H_

@@ -1,0 +1,75 @@
+#ifndef UBERRT_COMMON_RNG_H_
+#define UBERRT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace uberrt {
+
+/// Seeded random source used by all workload generators and failure
+/// injectors so that every test and benchmark is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Gaussian with the given mean and stddev.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Zipfian-distributed index in [0, n): a few indexes dominate, which is
+  /// how hot geofences / popular restaurants behave in the paper's workloads.
+  /// Uses the rejection-inversion-free clamped power-law approximation which
+  /// is adequate for workload skew.
+  int64_t Zipf(int64_t n, double exponent = 1.0) {
+    // Inverse-CDF on a truncated power law.
+    double u = NextDouble();
+    double x = std::pow(static_cast<double>(n), 1.0 - exponent);
+    double v = std::pow(u * (x - 1.0) + 1.0, 1.0 / (1.0 - exponent));
+    int64_t idx = static_cast<int64_t>(v) - 1;
+    if (idx < 0) idx = 0;
+    if (idx >= n) idx = n - 1;
+    return idx;
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string AlphaString(size_t length) {
+    std::string out(length, 'a');
+    for (auto& c : out) c = static_cast<char>('a' + Uniform(0, 25));
+    return out;
+  }
+
+  /// Picks one element of the vector uniformly. Requires non-empty input.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace uberrt
+
+#endif  // UBERRT_COMMON_RNG_H_

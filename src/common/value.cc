@@ -1,0 +1,187 @@
+#include "common/value.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace uberrt {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadU32(const std::string& data, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(out, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool ReadU64(const std::string& data, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(out, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+    case ValueType::kBool: return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "NULL";
+}
+
+bool Value::operator<(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  // Nulls sort first.
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return a == ValueType::kNull && b != ValueType::kNull;
+  }
+  bool a_num = a != ValueType::kString;
+  bool b_num = b != ValueType::kString;
+  if (a_num && b_num) return ToNumeric() < other.ToNumeric();
+  if (a == ValueType::kString && b == ValueType::kString) {
+    return AsString() < other.AsString();
+  }
+  // Mixed string/numeric: numerics sort before strings.
+  return a_num;
+}
+
+int RowSchema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RowSchema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << " " << ValueTypeName(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) {
+    out.push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        AppendU64(&out, static_cast<uint64_t>(v.AsInt()));
+        break;
+      case ValueType::kDouble: {
+        uint64_t bits;
+        double d = v.AsDouble();
+        std::memcpy(&bits, &d, 8);
+        AppendU64(&out, bits);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        AppendU32(&out, static_cast<uint32_t>(s.size()));
+        out.append(s);
+        break;
+      }
+      case ValueType::kBool:
+        out.push_back(v.AsBool() ? 1 : 0);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Row> DecodeRow(const std::string& data) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(data, &pos, &count)) {
+    return Status::Corruption("row header truncated");
+  }
+  // Every field needs at least its 1-byte tag; a count beyond the remaining
+  // bytes is corruption (and must not drive a huge reserve()).
+  if (count > data.size() - pos) return Status::Corruption("row count implausible");
+  Row row;
+  row.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos >= data.size()) return Status::Corruption("row body truncated");
+    auto tag = static_cast<ValueType>(data[pos++]);
+    switch (tag) {
+      case ValueType::kNull:
+        row.push_back(Value::Null());
+        break;
+      case ValueType::kInt: {
+        uint64_t raw;
+        if (!ReadU64(data, &pos, &raw)) return Status::Corruption("int truncated");
+        row.push_back(Value(static_cast<int64_t>(raw)));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        if (!ReadU64(data, &pos, &bits)) return Status::Corruption("double truncated");
+        double d;
+        std::memcpy(&d, &bits, 8);
+        row.push_back(Value(d));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len;
+        if (!ReadU32(data, &pos, &len)) return Status::Corruption("string length truncated");
+        if (pos + len > data.size()) return Status::Corruption("string body truncated");
+        row.push_back(Value(data.substr(pos, len)));
+        pos += len;
+        break;
+      }
+      case ValueType::kBool: {
+        if (pos >= data.size()) return Status::Corruption("bool truncated");
+        row.push_back(Value(data[pos++] != 0));
+        break;
+      }
+      default:
+        return Status::Corruption("unknown value tag");
+    }
+  }
+  return row;
+}
+
+}  // namespace uberrt

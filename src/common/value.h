@@ -1,0 +1,119 @@
+#ifndef UBERRT_COMMON_VALUE_H_
+#define UBERRT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uberrt {
+
+/// Scalar type of a field. The stack is schema-first (paper Section 3,
+/// "Metadata"): every topic/table declares its field types up front.
+enum class ValueType { kNull = 0, kInt = 1, kDouble = 2, kString = 3, kBool = 4 };
+
+const char* ValueTypeName(ValueType type);
+
+/// Dynamically-typed scalar carried through the stack: stream payload
+/// fields, compute records and OLAP cells all use this representation.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      case 3: return ValueType::kString;
+      case 4: return ValueType::kBool;
+    }
+    return ValueType::kNull;
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: ints widen to double, bools to 0/1; 0 for null/string.
+  double ToNumeric() const {
+    switch (type()) {
+      case ValueType::kInt: return static_cast<double>(AsInt());
+      case ValueType::kDouble: return AsDouble();
+      case ValueType::kBool: return AsBool() ? 1.0 : 0.0;
+      default: return 0.0;
+    }
+  }
+
+  /// Display form used by SQL results and debugging.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Ordering for sort/group keys: null < everything; numerics compare by
+  /// value across int/double; strings lexicographically.
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> data_;
+};
+
+/// One field of a schema.
+struct FieldSpec {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const FieldSpec& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered, named, typed field list. Rows are positional against a schema.
+class RowSchema {
+ public:
+  RowSchema() = default;
+  explicit RowSchema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+  size_t NumFields() const { return fields_.size(); }
+
+  /// Index of the named field or -1.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const { return FieldIndex(name) >= 0; }
+
+  bool operator==(const RowSchema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+/// Positional tuple of values. Interpreted against a RowSchema.
+using Row = std::vector<Value>;
+
+/// Compact binary row codec used when rows travel through the stream layer
+/// as message payloads. Format: u32 field count, then per field a 1-byte
+/// type tag and a type-dependent body (varint-free fixed widths; strings are
+/// u32-length-prefixed).
+std::string EncodeRow(const Row& row);
+
+/// Decodes a row previously produced by EncodeRow. Returns Corruption on any
+/// malformed input (short buffer, bad tag).
+Result<Row> DecodeRow(const std::string& data);
+
+}  // namespace uberrt
+
+#endif  // UBERRT_COMMON_VALUE_H_

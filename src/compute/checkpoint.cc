@@ -1,0 +1,87 @@
+#include "compute/checkpoint.h"
+
+#include <cstring>
+
+namespace uberrt::compute {
+
+namespace {
+
+void AppendString(std::string* out, const std::string& s) {
+  uint32_t len = static_cast<uint32_t>(s.size());
+  char buf[4];
+  std::memcpy(buf, &len, 4);
+  out->append(buf, 4);
+  out->append(s);
+}
+
+bool ReadString(const std::string& data, size_t* pos, std::string* out) {
+  if (*pos + 4 > data.size()) return false;
+  uint32_t len;
+  std::memcpy(&len, data.data() + *pos, 4);
+  *pos += 4;
+  if (*pos + len > data.size()) return false;
+  out->assign(data, *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointData::Encode() const {
+  std::string out;
+  AppendString(&out, std::to_string(sequence));
+  AppendString(&out, std::to_string(entries.size()));
+  for (const auto& [key, value] : entries) {
+    AppendString(&out, key);
+    AppendString(&out, value);
+  }
+  return out;
+}
+
+Result<CheckpointData> CheckpointData::Decode(const std::string& blob) {
+  CheckpointData data;
+  size_t pos = 0;
+  std::string sequence_str, count_str;
+  if (!ReadString(blob, &pos, &sequence_str) || !ReadString(blob, &pos, &count_str)) {
+    return Status::Corruption("checkpoint header truncated");
+  }
+  data.sequence = std::stoll(sequence_str);
+  size_t count = static_cast<size_t>(std::stoull(count_str));
+  for (size_t i = 0; i < count; ++i) {
+    std::string key, value;
+    if (!ReadString(blob, &pos, &key) || !ReadString(blob, &pos, &value)) {
+      return Status::Corruption("checkpoint entry truncated");
+    }
+    data.entries.emplace(std::move(key), std::move(value));
+  }
+  return data;
+}
+
+std::string CheckpointStore::Key(int64_t sequence) const {
+  return prefix_ + "/" + job_ + "/chk-" + std::to_string(sequence);
+}
+
+Status CheckpointStore::Save(const CheckpointData& data) {
+  UBERRT_RETURN_IF_ERROR(store_->Put(Key(data.sequence), data.Encode()));
+  return store_->Put(prefix_ + "/" + job_ + "/LATEST", std::to_string(data.sequence));
+}
+
+Result<CheckpointData> CheckpointStore::Load(int64_t sequence) const {
+  Result<std::string> blob = store_->Get(Key(sequence));
+  if (!blob.ok()) return blob.status();
+  return CheckpointData::Decode(blob.value());
+}
+
+Result<int64_t> CheckpointStore::LatestSequence() const {
+  Result<std::string> latest = store_->Get(prefix_ + "/" + job_ + "/LATEST");
+  if (!latest.ok()) return latest.status();
+  return std::stoll(latest.value());
+}
+
+Result<CheckpointData> CheckpointStore::LoadLatest() const {
+  Result<int64_t> sequence = LatestSequence();
+  if (!sequence.ok()) return sequence.status();
+  return Load(sequence.value());
+}
+
+}  // namespace uberrt::compute

@@ -1,0 +1,49 @@
+#ifndef UBERRT_COMPUTE_ELEMENT_H_
+#define UBERRT_COMPUTE_ELEMENT_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.h"
+#include "common/value.h"
+
+namespace uberrt::compute {
+
+/// Watermark value meaning "input exhausted; flush everything".
+inline constexpr TimestampMs kMaxWatermark = std::numeric_limits<TimestampMs>::max();
+
+/// One unit flowing through a dataflow channel: a data record, a watermark,
+/// or an end-of-stream marker. Mirrors Flink's StreamElement.
+struct Element {
+  enum class Kind { kRecord = 0, kWatermark = 1, kEnd = 2 };
+
+  Kind kind = Kind::kRecord;
+  Row row;                    ///< payload (kRecord)
+  TimestampMs event_time = 0; ///< record event time, or the watermark value
+  int32_t from_channel = 0;   ///< upstream instance index (watermark alignment)
+  int32_t side = 0;           ///< input side for two-input operators (joins)
+
+  static Element Record(Row row, TimestampMs event_time, int32_t side = 0) {
+    Element e;
+    e.kind = Kind::kRecord;
+    e.row = std::move(row);
+    e.event_time = event_time;
+    e.side = side;
+    return e;
+  }
+  static Element Watermark(TimestampMs watermark) {
+    Element e;
+    e.kind = Kind::kWatermark;
+    e.event_time = watermark;
+    return e;
+  }
+  static Element End() {
+    Element e;
+    e.kind = Kind::kEnd;
+    return e;
+  }
+};
+
+}  // namespace uberrt::compute
+
+#endif  // UBERRT_COMPUTE_ELEMENT_H_

@@ -1,0 +1,42 @@
+#ifndef UBERRT_COMPUTE_FLINK_SQL_H_
+#define UBERRT_COMPUTE_FLINK_SQL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "compute/job_graph.h"
+
+namespace uberrt::compute {
+
+struct FlinkSqlOptions {
+  int32_t parallelism = 1;
+  int64_t allowed_lateness_ms = 0;
+  int64_t out_of_orderness_ms = 1000;
+  /// Topic to read instead of the FROM table name (e.g. federated routing).
+  std::string topic_override;
+};
+
+/// FlinkSQL (Section 4.2.1): compiles a streaming SQL query into a Flink
+/// JobGraph, the layer that lets "users of all technical levels run their
+/// streaming processing applications in production in a span of mere hours".
+///
+/// Supported shape (see sql::ParseSelect for the grammar):
+///  - FROM <topic>: the stream; `input_schema` describes its rows.
+///  - WHERE: compiled to a Filter stage.
+///  - scalar SELECT items: compiled to a Map projection.
+///  - GROUP BY cols + TUMBLE/HOP/SESSION(ts, INTERVAL ...) with aggregate
+///    select items: compiled to a keyed WindowAggregate; the window start is
+///    exposed as pseudo-column `window_start`.
+///  - HAVING: Filter over the aggregated rows.
+/// ORDER BY / LIMIT are rejected: the output is an unbounded stream
+/// (FlinkSQL semantics differ from batch SQL, as the paper stresses).
+///
+/// The returned graph has no sink; attach SinkToTopic/SinkToCollector.
+Result<JobGraph> CompileStreamingSql(const std::string& sql,
+                                     const RowSchema& input_schema,
+                                     FlinkSqlOptions options = FlinkSqlOptions());
+
+}  // namespace uberrt::compute
+
+#endif  // UBERRT_COMPUTE_FLINK_SQL_H_

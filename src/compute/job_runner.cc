@@ -1,0 +1,570 @@
+#include "compute/job_runner.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "compute/window_operator.h"
+
+namespace uberrt::compute {
+
+namespace {
+
+/// Terminal stage: delivers rows to the configured sink.
+class SinkOperator : public OperatorInstance {
+ public:
+  SinkOperator(const SinkSpec& spec, stream::MessageBus* bus,
+               std::atomic<int64_t>* records_out)
+      : spec_(spec), bus_(bus), records_out_(records_out) {}
+
+  void ProcessRecord(const Element& element, Emitter* out) override {
+    (void)out;
+    if (spec_.kind == SinkSpec::Kind::kTopic) {
+      stream::Message message;
+      message.value = EncodeRow(element.row);
+      message.timestamp = element.event_time;
+      bus_->Produce(spec_.topic, std::move(message), stream::AckMode::kLeader).ok();
+    } else if (spec_.collector) {
+      spec_.collector(element.row, element.event_time);
+    }
+    records_out_->fetch_add(1);
+  }
+
+ private:
+  SinkSpec spec_;
+  stream::MessageBus* bus_;
+  std::atomic<int64_t>* records_out_;
+};
+
+}  // namespace
+
+struct JobRunner::Wiring {
+  std::vector<BoundedQueue<Element>*> queues;
+  bool keyed = false;
+  std::vector<int> key_indices[2];  ///< per input side (joins); [0] otherwise
+  std::atomic<uint64_t> round_robin{0};
+};
+
+struct JobRunner::Instance {
+  int stage = 0;
+  int index = 0;
+  std::unique_ptr<BoundedQueue<Element>> queue;
+  std::unique_ptr<OperatorInstance> op;
+  Wiring* output = nullptr;  ///< null for the sink stage
+  int num_upstream = 0;
+  bool is_sink = false;
+  std::atomic<int64_t> state_bytes{0};
+  std::atomic<int64_t> peak_state_bytes{0};
+  std::atomic<int64_t> late_dropped{0};
+};
+
+struct JobRunner::SourceState {
+  SourceSpec spec;
+  std::vector<int64_t> positions;
+  int time_field_index = -1;
+  /// Per-partition max event time (as in Flink's per-partition Kafka
+  /// watermarking): the source watermark is the min over partitions that
+  /// have produced data, so slow partitions never make fast ones "late".
+  std::vector<TimestampMs> partition_max_event_time;
+  int64_t records_since_watermark = 0;
+  std::atomic<bool> busy{false};
+  std::atomic<bool> done{false};
+
+  /// Watermark base: min event time over partitions. A partition with no
+  /// samples yet holds the watermark back (returns INT64_MIN) if it still
+  /// has unread data — we must not declare time progressed past records we
+  /// have not looked at. Truly empty partitions are ignored as idle.
+  TimestampMs CurrentWatermarkBase(stream::MessageBus* bus) const {
+    TimestampMs min_wm = kMaxWatermark;
+    bool any = false;
+    for (size_t p = 0; p < partition_max_event_time.size(); ++p) {
+      TimestampMs t = partition_max_event_time[p];
+      if (t == INT64_MIN) {
+        Result<int64_t> end = bus->EndOffset(spec.topic, static_cast<int32_t>(p));
+        if (end.ok() && end.value() > positions[p]) return INT64_MIN;  // unread data
+        continue;  // idle partition
+      }
+      any = true;
+      min_wm = std::min(min_wm, t);
+    }
+    return any ? min_wm : INT64_MIN;
+  }
+};
+
+namespace {
+
+/// Emitter bound to one instance: routes records into the next stage.
+class RunnerEmitter : public Emitter {
+ public:
+  RunnerEmitter(JobRunner* runner, JobRunner::Instance* instance,
+                void (JobRunner::*dispatch)(Element, JobRunner::Wiring&))
+      : runner_(runner), instance_(instance), dispatch_(dispatch) {}
+
+  void Emit(Row row, TimestampMs event_time) override {
+    if (instance_->output == nullptr) return;
+    Element element = Element::Record(std::move(row), event_time);
+    element.from_channel = instance_->index;
+    (runner_->*dispatch_)(std::move(element), *instance_->output);
+  }
+
+ private:
+  JobRunner* runner_;
+  JobRunner::Instance* instance_;
+  void (JobRunner::*dispatch_)(Element, JobRunner::Wiring&);
+};
+
+}  // namespace
+
+JobRunner::JobRunner(JobGraph graph, stream::MessageBus* bus,
+                     storage::ObjectStore* store, JobRunnerOptions options)
+    : graph_(std::move(graph)),
+      bus_(bus),
+      options_(options),
+      checkpoint_store_(store, options.checkpoint_prefix, graph_.name()) {}
+
+JobRunner::~JobRunner() { Cancel(); }
+
+Status JobRunner::BuildTopology() {
+  // Sources.
+  for (const SourceSpec& spec : graph_.sources()) {
+    auto src = std::make_unique<SourceState>();
+    src->spec = spec;
+    src->time_field_index = spec.time_field.empty()
+                                ? -1
+                                : spec.schema.FieldIndex(spec.time_field);
+    Result<int32_t> partitions = bus_->NumPartitions(spec.topic);
+    if (!partitions.ok()) return partitions.status();
+    src->positions.resize(static_cast<size_t>(partitions.value()), 0);
+    src->partition_max_event_time.resize(static_cast<size_t>(partitions.value()),
+                                         INT64_MIN);
+    for (int32_t p = 0; p < partitions.value(); ++p) {
+      std::string key = "source." + std::to_string(source_states_.size()) + "." +
+                        std::to_string(p);
+      auto it = restored_.entries.find(key);
+      if (it != restored_.entries.end()) {
+        src->positions[static_cast<size_t>(p)] = std::stoll(it->second);
+      } else {
+        Result<int64_t> begin = bus_->BeginOffset(spec.topic, p);
+        if (!begin.ok()) return begin.status();
+        src->positions[static_cast<size_t>(p)] = begin.value();
+      }
+    }
+    source_states_.push_back(std::move(src));
+  }
+
+  const auto& transforms = graph_.transforms();
+  size_t num_stages = transforms.size() + 1;  // + sink
+  stages_.resize(num_stages);
+  wirings_.resize(num_stages);
+
+  // Instances per stage.
+  for (size_t s = 0; s < num_stages; ++s) {
+    bool is_sink = s == transforms.size();
+    int32_t parallelism = is_sink ? 1 : transforms[s].parallelism;
+    int num_upstream = s == 0 ? static_cast<int>(graph_.sources().size())
+                              : transforms[s - 1].parallelism;
+    RowSchema input = graph_.SchemaAfter(static_cast<int>(s) - 1);
+    for (int32_t i = 0; i < parallelism; ++i) {
+      auto inst = std::make_unique<Instance>();
+      inst->stage = static_cast<int>(s);
+      inst->index = i;
+      inst->queue = std::make_unique<BoundedQueue<Element>>(options_.channel_capacity);
+      inst->num_upstream = num_upstream;
+      inst->is_sink = is_sink;
+      if (is_sink) {
+        inst->op = std::make_unique<SinkOperator>(graph_.sink(), bus_, &records_out_);
+      } else {
+        RowSchema left = graph_.sources()[0].schema;
+        RowSchema right =
+            graph_.sources().size() > 1 ? graph_.sources()[1].schema : RowSchema();
+        inst->op = CreateOperatorInstance(transforms[s], input, left, right);
+        std::string key = "op." + std::to_string(s) + "." + std::to_string(i);
+        auto it = restored_.entries.find(key);
+        if (it != restored_.entries.end()) {
+          UBERRT_RETURN_IF_ERROR(inst->op->RestoreState(it->second));
+          inst->state_bytes.store(inst->op->StateBytes());
+        }
+      }
+      stages_[s].push_back(std::move(inst));
+    }
+  }
+
+  // Wirings: wirings_[s] feeds stage s.
+  for (size_t s = 0; s < num_stages; ++s) {
+    auto wiring = std::make_unique<Wiring>();
+    for (auto& inst : stages_[s]) wiring->queues.push_back(inst->queue.get());
+    if (s < transforms.size()) {
+      const TransformSpec& t = transforms[s];
+      if (t.kind == TransformSpec::Kind::kWindowAggregate) {
+        wiring->keyed = true;
+        RowSchema input = graph_.SchemaAfter(static_cast<int>(s) - 1);
+        wiring->key_indices[0] = ResolveIndices(input, t.key_fields);
+        wiring->key_indices[1] = wiring->key_indices[0];
+      } else if (t.kind == TransformSpec::Kind::kWindowJoin) {
+        wiring->keyed = true;
+        wiring->key_indices[0] = ResolveIndices(graph_.sources()[0].schema, t.key_fields);
+        wiring->key_indices[1] = ResolveIndices(graph_.sources()[1].schema, t.key_fields);
+      }
+    }
+    wirings_[s] = std::move(wiring);
+  }
+
+  // Instance outputs.
+  for (size_t s = 0; s + 1 < num_stages; ++s) {
+    for (auto& inst : stages_[s]) inst->output = wirings_[s + 1].get();
+  }
+  return Status::Ok();
+}
+
+Status JobRunner::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  UBERRT_RETURN_IF_ERROR(graph_.Validate());
+  UBERRT_RETURN_IF_ERROR(BuildTopology());
+  running_.store(true);
+  for (auto& stage : stages_) {
+    for (auto& inst : stage) {
+      threads_.emplace_back([this, instance = inst.get()] { InstanceLoop(instance); });
+    }
+  }
+  for (size_t si = 0; si < source_states_.size(); ++si) {
+    threads_.emplace_back([this, si] { SourceLoop(si); });
+  }
+  return Status::Ok();
+}
+
+Status JobRunner::RestoreFromCheckpoint(int64_t sequence) {
+  if (running_.load()) return Status::FailedPrecondition("job already started");
+  Result<CheckpointData> data =
+      sequence < 0 ? checkpoint_store_.LoadLatest() : checkpoint_store_.Load(sequence);
+  if (!data.ok()) return data.status();
+  restored_ = std::move(data.value());
+  has_restored_ = true;
+  checkpoint_sequence_.store(restored_.sequence);
+  return Status::Ok();
+}
+
+void JobRunner::Dispatch(Element element, Wiring& wiring) {
+  size_t n = wiring.queues.size();
+  size_t target = 0;
+  if (n > 1 || wiring.keyed) {
+    if (wiring.keyed) {
+      int side = element.side == 1 ? 1 : 0;
+      std::string key = EncodeKey(element.row, wiring.key_indices[side]);
+      target = static_cast<size_t>(Fnv1a64(key) % n);
+    } else {
+      target = wiring.round_robin.fetch_add(1) % n;
+    }
+  }
+  in_flight_.fetch_add(1);
+  if (!wiring.queues[target]->Push(std::move(element))) {
+    in_flight_.fetch_sub(1);  // queue closed during cancel
+  }
+}
+
+void JobRunner::Broadcast(Element element, Wiring& wiring) {
+  for (BoundedQueue<Element>* queue : wiring.queues) {
+    in_flight_.fetch_add(1);
+    if (!queue->Push(element)) in_flight_.fetch_sub(1);
+  }
+}
+
+void JobRunner::SourceLoop(size_t source_index) {
+  SourceState& src = *source_states_[source_index];
+  Wiring& out = *wirings_[0];
+  std::vector<int64_t> end_targets;
+  bool finishing = false;
+  while (!cancel_.load()) {
+    if (pause_sources_.load()) {
+      SystemClock::Instance()->SleepMs(1);
+      continue;
+    }
+    src.busy.store(true);
+    if (finish_requested_.load() && !finishing) {
+      finishing = true;
+      end_targets.resize(src.positions.size());
+      for (size_t p = 0; p < src.positions.size(); ++p) {
+        Result<int64_t> end = bus_->EndOffset(src.spec.topic, static_cast<int32_t>(p));
+        end_targets[p] = end.ok() ? end.value() : src.positions[p];
+      }
+    }
+    bool got_data = false;
+    for (size_t p = 0; p < src.positions.size() && !cancel_.load(); ++p) {
+      Result<std::vector<stream::Message>> batch =
+          bus_->Fetch(src.spec.topic, static_cast<int32_t>(p), src.positions[p],
+                      options_.source_poll_batch);
+      if (!batch.ok()) {
+        if (batch.status().code() == StatusCode::kOutOfRange) {
+          Result<int64_t> begin =
+              bus_->BeginOffset(src.spec.topic, static_cast<int32_t>(p));
+          if (begin.ok() && begin.value() > src.positions[p]) {
+            src.positions[p] = begin.value();
+          }
+        }
+        continue;
+      }
+      for (stream::Message& m : batch.value()) {
+        got_data = true;
+        Result<Row> row = DecodeRow(m.value);
+        // Position advances only after the record is safely in the pipeline,
+        // so a checkpoint can never skip an unpushed record.
+        if (!row.ok()) {
+          decode_errors_.fetch_add(1);
+          src.positions[p] = m.offset + 1;
+          continue;
+        }
+        TimestampMs t = m.timestamp;
+        int tf = src.time_field_index;
+        if (tf >= 0 && tf < static_cast<int>(row.value().size()) &&
+            row.value()[static_cast<size_t>(tf)].type() == ValueType::kInt) {
+          t = row.value()[static_cast<size_t>(tf)].AsInt();
+        }
+        src.partition_max_event_time[p] =
+            std::max(src.partition_max_event_time[p], t);
+        records_in_.fetch_add(1);
+        Element element = Element::Record(std::move(row.value()), t,
+                                          static_cast<int32_t>(source_index));
+        element.from_channel = static_cast<int32_t>(source_index);
+        Dispatch(std::move(element), out);
+        src.positions[p] = m.offset + 1;
+        if (++src.records_since_watermark >= src.spec.watermark_interval_records) {
+          src.records_since_watermark = 0;
+          TimestampMs base = src.CurrentWatermarkBase(bus_);
+          if (base != INT64_MIN) {
+            Element wm = Element::Watermark(base - src.spec.out_of_orderness_ms);
+            wm.from_channel = static_cast<int32_t>(source_index);
+            Broadcast(std::move(wm), out);
+          }
+        }
+      }
+    }
+    src.busy.store(false);
+    if (finishing) {
+      bool done = true;
+      for (size_t p = 0; p < src.positions.size(); ++p) {
+        if (src.positions[p] < end_targets[p]) {
+          done = false;
+          break;
+        }
+      }
+      if (done) {
+        Element wm = Element::Watermark(kMaxWatermark);
+        wm.from_channel = static_cast<int32_t>(source_index);
+        Broadcast(std::move(wm), out);
+        Element end = Element::End();
+        end.from_channel = static_cast<int32_t>(source_index);
+        Broadcast(std::move(end), out);
+        src.done.store(true);
+        return;
+      }
+    }
+    if (!got_data) SystemClock::Instance()->SleepMs(options_.source_idle_sleep_ms);
+  }
+  src.done.store(true);
+}
+
+void JobRunner::InstanceLoop(Instance* instance) {
+  std::vector<TimestampMs> upstream_wm(static_cast<size_t>(instance->num_upstream),
+                                       INT64_MIN);
+  int ends_remaining = instance->num_upstream;
+  TimestampMs aligned = INT64_MIN;
+  RunnerEmitter emitter(this, instance, &JobRunner::Dispatch);
+
+  auto aligned_watermark = [&]() {
+    TimestampMs min_wm = kMaxWatermark;
+    for (TimestampMs wm : upstream_wm) min_wm = std::min(min_wm, wm);
+    return min_wm;
+  };
+  auto update_state_gauges = [&] {
+    int64_t bytes = instance->op->StateBytes();
+    instance->state_bytes.store(bytes);
+    if (bytes > instance->peak_state_bytes.load()) {
+      instance->peak_state_bytes.store(bytes);
+    }
+    instance->late_dropped.store(instance->op->late_dropped());
+  };
+
+  while (true) {
+    std::optional<Element> element = instance->queue->Pop();
+    if (!element.has_value()) return;  // cancelled
+    switch (element->kind) {
+      case Element::Kind::kRecord:
+        instance->op->ProcessRecord(*element, &emitter);
+        update_state_gauges();
+        break;
+      case Element::Kind::kWatermark: {
+        size_t ch = static_cast<size_t>(element->from_channel);
+        if (ch < upstream_wm.size()) {
+          upstream_wm[ch] = std::max(upstream_wm[ch], element->event_time);
+        }
+        TimestampMs min_wm = aligned_watermark();
+        if (min_wm > aligned) {
+          aligned = min_wm;
+          instance->op->OnWatermark(aligned, &emitter);
+          update_state_gauges();
+          if (instance->output != nullptr) {
+            Element forward = Element::Watermark(aligned);
+            forward.from_channel = instance->index;
+            Broadcast(std::move(forward), *instance->output);
+          }
+        }
+        break;
+      }
+      case Element::Kind::kEnd: {
+        size_t ch = static_cast<size_t>(element->from_channel);
+        if (ch < upstream_wm.size()) upstream_wm[ch] = kMaxWatermark;
+        --ends_remaining;
+        TimestampMs min_wm = aligned_watermark();
+        if (min_wm > aligned) {
+          aligned = min_wm;
+          instance->op->OnWatermark(aligned, &emitter);
+          update_state_gauges();
+        }
+        if (ends_remaining == 0) {
+          if (instance->output != nullptr) {
+            Element forward = Element::End();
+            forward.from_channel = instance->index;
+            Broadcast(std::move(forward), *instance->output);
+          }
+          if (instance->is_sink) finished_.store(true);
+          in_flight_.fetch_sub(1);
+          return;
+        }
+        break;
+      }
+    }
+    in_flight_.fetch_sub(1);
+  }
+}
+
+Status JobRunner::WaitForQuiesce(int64_t timeout_ms) {
+  TimestampMs deadline = SystemClock::Instance()->NowMs() + timeout_ms;
+  while (true) {
+    bool sources_idle = true;
+    for (auto& src : source_states_) {
+      if (src->busy.load() && !src->done.load()) sources_idle = false;
+    }
+    if (sources_idle && in_flight_.load() == 0) return Status::Ok();
+    if (SystemClock::Instance()->NowMs() > deadline) {
+      return Status::Timeout("pipeline did not quiesce");
+    }
+    SystemClock::Instance()->SleepMs(1);
+  }
+}
+
+Result<int64_t> JobRunner::TriggerCheckpoint() {
+  if (!running_.load()) return Status::FailedPrecondition("job not running");
+  pause_sources_.store(true);
+  Status quiesced = WaitForQuiesce(30000);
+  if (!quiesced.ok()) {
+    pause_sources_.store(false);
+    return quiesced;
+  }
+  CheckpointData data;
+  data.sequence = checkpoint_sequence_.fetch_add(1) + 1;
+  for (size_t si = 0; si < source_states_.size(); ++si) {
+    const SourceState& src = *source_states_[si];
+    for (size_t p = 0; p < src.positions.size(); ++p) {
+      data.entries["source." + std::to_string(si) + "." + std::to_string(p)] =
+          std::to_string(src.positions[p]);
+    }
+  }
+  for (size_t s = 0; s + 1 < stages_.size(); ++s) {
+    for (auto& inst : stages_[s]) {
+      data.entries["op." + std::to_string(s) + "." + std::to_string(inst->index)] =
+          inst->op->SnapshotState();
+    }
+  }
+  Status saved = checkpoint_store_.Save(data);
+  pause_sources_.store(false);
+  if (!saved.ok()) return saved;
+  return data.sequence;
+}
+
+void JobRunner::RequestFinish() { finish_requested_.store(true); }
+
+Status JobRunner::AwaitTermination(int64_t timeout_ms) {
+  TimestampMs deadline =
+      timeout_ms < 0 ? kMaxWatermark : SystemClock::Instance()->NowMs() + timeout_ms;
+  while (!finished_.load() && !cancel_.load()) {
+    if (SystemClock::Instance()->NowMs() > deadline) {
+      return Status::Timeout("job did not terminate");
+    }
+    SystemClock::Instance()->SleepMs(1);
+  }
+  // Sink done: sources and upstream instances have exited; join everything.
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  running_.store(false);
+  return Status::Ok();
+}
+
+void JobRunner::Cancel() {
+  if (!running_.load() && threads_.empty()) return;
+  cancel_.store(true);
+  for (auto& stage : stages_) {
+    for (auto& inst : stage) inst->queue->Close();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  running_.store(false);
+}
+
+Status JobRunner::WaitUntilCaughtUp(int64_t timeout_ms) {
+  TimestampMs deadline = SystemClock::Instance()->NowMs() + timeout_ms;
+  while (true) {
+    Result<int64_t> lag = SourceLag();
+    if (lag.ok() && lag.value() == 0 && in_flight_.load() == 0) {
+      bool idle = true;
+      for (auto& src : source_states_) {
+        if (src->busy.load()) idle = false;
+      }
+      if (idle) return Status::Ok();
+    }
+    if (SystemClock::Instance()->NowMs() > deadline) {
+      return Status::Timeout("did not catch up");
+    }
+    SystemClock::Instance()->SleepMs(1);
+  }
+}
+
+int64_t JobRunner::StateBytes() const {
+  int64_t total = 0;
+  for (const auto& stage : stages_) {
+    for (const auto& inst : stage) total += inst->state_bytes.load();
+  }
+  return total;
+}
+
+int64_t JobRunner::PeakStateBytes() const {
+  int64_t total = 0;
+  for (const auto& stage : stages_) {
+    for (const auto& inst : stage) total += inst->peak_state_bytes.load();
+  }
+  return total;
+}
+
+Result<int64_t> JobRunner::SourceLag() const {
+  int64_t lag = 0;
+  for (const auto& src : source_states_) {
+    for (size_t p = 0; p < src->positions.size(); ++p) {
+      Result<int64_t> end = bus_->EndOffset(src->spec.topic, static_cast<int32_t>(p));
+      if (!end.ok()) return end.status();
+      lag += std::max<int64_t>(0, end.value() - src->positions[p]);
+    }
+  }
+  return lag;
+}
+
+int64_t JobRunner::LateDropped() const {
+  int64_t total = 0;
+  for (const auto& stage : stages_) {
+    for (const auto& inst : stage) total += inst->late_dropped.load();
+  }
+  return total;
+}
+
+}  // namespace uberrt::compute

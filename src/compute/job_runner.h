@@ -1,0 +1,150 @@
+#ifndef UBERRT_COMPUTE_JOB_RUNNER_H_
+#define UBERRT_COMPUTE_JOB_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "compute/checkpoint.h"
+#include "compute/job_graph.h"
+#include "compute/operator.h"
+#include "storage/object_store.h"
+#include "stream/message_bus.h"
+
+namespace uberrt::compute {
+
+/// Engine behaviour knobs.
+struct JobRunnerOptions {
+  /// Per-channel buffer. Bounded channels give credit-based backpressure
+  /// (Flink-like); 0 means unbounded (the Storm-like no-flow-control mode
+  /// compared in Section 4.2 and bench C2).
+  size_t channel_capacity = 1024;
+  size_t source_poll_batch = 256;
+  /// When false the job manager never snapshots this job; recovery
+  /// recomputes state from the stream (the surge tuning of Section 5.1).
+  bool periodic_checkpoints = true;
+  int64_t source_idle_sleep_ms = 1;
+  std::string checkpoint_prefix = "checkpoints";
+};
+
+/// Streaming dataflow executor — the Flink substitute (Section 4.2).
+///
+/// Executes a JobGraph as a pipeline of threads: one thread per source and
+/// one per parallel operator instance, connected by bounded queues. Keyed
+/// stages partition records by key hash so all records of a key reach one
+/// instance; watermarks are broadcast and aligned (min across input
+/// channels) per instance. Backpressure propagates naturally through the
+/// bounded queues back to the sources.
+///
+/// Checkpoints are stop-the-world: sources pause, the pipeline drains, then
+/// source offsets and all operator state snapshot atomically to the object
+/// store (equivalent to aligned-barrier snapshots, traded for simplicity).
+/// Restores resume from the snapshot offsets, giving exactly-once state and
+/// at-least-once sink delivery.
+class JobRunner {
+ public:
+  // Implementation detail, public only for the emitter glue in the .cc.
+  struct Wiring;
+  struct Instance;
+  struct SourceState;
+
+  JobRunner(JobGraph graph, stream::MessageBus* bus, storage::ObjectStore* store,
+            JobRunnerOptions options = JobRunnerOptions());
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Validates the graph and launches the pipeline threads.
+  Status Start();
+
+  /// Loads a checkpoint (latest when `sequence` < 0) into the un-started
+  /// job: source offsets and operator state. Must precede Start().
+  Status RestoreFromCheckpoint(int64_t sequence = -1);
+
+  /// Pauses sources, drains in-flight work, snapshots, resumes. Returns the
+  /// checkpoint sequence written.
+  Result<int64_t> TriggerCheckpoint();
+
+  /// Asks sources to stop at the topics' current end offsets; the pipeline
+  /// then flushes all windows and terminates ("bounded" execution — also how
+  /// Kappa+ backfill jobs end, Section 7).
+  void RequestFinish();
+
+  /// Blocks until all pipeline threads exited. Timeout < 0 waits forever.
+  Status AwaitTermination(int64_t timeout_ms = -1);
+
+  /// Hard-stops the pipeline without flushing windows (state is preserved
+  /// in the last checkpoint; this models a crash or forced stop).
+  void Cancel();
+
+  /// Blocks until sources have read to their topics' current end offsets
+  /// and the pipeline has no in-flight elements.
+  Status WaitUntilCaughtUp(int64_t timeout_ms = 10000);
+
+  bool IsRunning() const { return running_.load(); }
+  bool IsFinished() const { return finished_.load(); }
+
+  // --- Observability (Section 4.2.1 monitoring signals) -------------------
+
+  /// Rows delivered to the sink.
+  int64_t RecordsOut() const { return records_out_.load(); }
+  /// Records read from the sources.
+  int64_t RecordsIn() const { return records_in_.load(); }
+  /// Live keyed-state footprint across all operator instances.
+  int64_t StateBytes() const;
+  /// Sum of per-instance peak state footprints (upper bound on peak total).
+  int64_t PeakStateBytes() const;
+  /// Unread messages remaining in the source topics.
+  Result<int64_t> SourceLag() const;
+  /// Records dropped as too late across all window operators.
+  int64_t LateDropped() const;
+  /// Rows that failed to decode from the source topics.
+  int64_t DecodeErrors() const { return decode_errors_.load(); }
+
+  const JobGraph& graph() const { return graph_; }
+
+ private:
+  void SourceLoop(size_t source_index);
+  void InstanceLoop(Instance* instance);
+  void Dispatch(Element element, Wiring& wiring);
+  void Broadcast(Element element, Wiring& wiring);
+  Status BuildTopology();
+  Status WaitForQuiesce(int64_t timeout_ms);
+
+  JobGraph graph_;
+  stream::MessageBus* bus_;
+  JobRunnerOptions options_;
+  CheckpointStore checkpoint_store_;
+
+  std::vector<std::unique_ptr<SourceState>> source_states_;
+  // stages_[i] = instances of transform i; the final entry is the sink stage.
+  std::vector<std::vector<std::unique_ptr<Instance>>> stages_;
+  std::vector<std::unique_ptr<Wiring>> wirings_;  // wirings_[i] feeds stage i
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> pause_sources_{false};
+  std::atomic<bool> finish_requested_{false};
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> records_in_{0};
+  std::atomic<int64_t> records_out_{0};
+  std::atomic<int64_t> decode_errors_{0};
+  std::atomic<int64_t> checkpoint_sequence_{0};
+
+  CheckpointData restored_;  // applied during BuildTopology
+  bool has_restored_ = false;
+};
+
+}  // namespace uberrt::compute
+
+#endif  // UBERRT_COMPUTE_JOB_RUNNER_H_

@@ -1,0 +1,65 @@
+#ifndef UBERRT_COMPUTE_OPERATOR_H_
+#define UBERRT_COMPUTE_OPERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "compute/element.h"
+#include "compute/job_graph.h"
+
+namespace uberrt::compute {
+
+/// Downstream output of an operator instance. Implementations partition to
+/// the next stage's instances and do in-flight accounting.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(Row row, TimestampMs event_time) = 0;
+};
+
+/// One parallel instance of a transformation. Driven by a single runner
+/// thread, so implementations need no internal locking; state snapshots are
+/// taken only while the pipeline is quiesced.
+class OperatorInstance {
+ public:
+  virtual ~OperatorInstance() = default;
+
+  /// Processes one data record. `element.side` distinguishes join inputs.
+  virtual void ProcessRecord(const Element& element, Emitter* out) = 0;
+
+  /// Called when the instance's aligned watermark (min across input
+  /// channels) advances. Window operators fire here.
+  virtual void OnWatermark(TimestampMs watermark, Emitter* out) {
+    (void)watermark;
+    (void)out;
+  }
+
+  /// Keyed-state snapshot for checkpoints; empty for stateless operators.
+  virtual std::string SnapshotState() const { return {}; }
+  virtual Status RestoreState(const std::string& blob) {
+    (void)blob;
+    return Status::Ok();
+  }
+
+  /// Approximate bytes of retained state (drives the memory-profile
+  /// comparisons of Sections 4.2 / 4.2.1).
+  virtual int64_t StateBytes() const { return 0; }
+
+  /// Records dropped for arriving later than allowed lateness.
+  virtual int64_t late_dropped() const { return 0; }
+};
+
+/// Builds the instance for `spec`. `input` is the schema entering the
+/// stage; for window joins, `left`/`right` are the two source schemas and
+/// `input` is ignored.
+std::unique_ptr<OperatorInstance> CreateOperatorInstance(const TransformSpec& spec,
+                                                         const RowSchema& input,
+                                                         const RowSchema& left,
+                                                         const RowSchema& right);
+
+}  // namespace uberrt::compute
+
+#endif  // UBERRT_COMPUTE_OPERATOR_H_

@@ -1,0 +1,58 @@
+#include "compute/operator.h"
+
+#include "compute/window_operator.h"
+
+namespace uberrt::compute {
+
+namespace {
+
+/// Stateless record-at-a-time operator (map / filter / flatmap) — the
+/// CPU-bound job class of Section 4.2.1.
+class StatelessOperator : public OperatorInstance {
+ public:
+  explicit StatelessOperator(const TransformSpec& spec) : spec_(spec) {}
+
+  void ProcessRecord(const Element& element, Emitter* out) override {
+    switch (spec_.kind) {
+      case TransformSpec::Kind::kMap:
+        out->Emit(spec_.map_fn(element.row), element.event_time);
+        break;
+      case TransformSpec::Kind::kFilter:
+        if (spec_.filter_fn(element.row)) {
+          out->Emit(element.row, element.event_time);
+        }
+        break;
+      case TransformSpec::Kind::kFlatMap:
+        for (Row& row : spec_.flatmap_fn(element.row)) {
+          out->Emit(std::move(row), element.event_time);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  TransformSpec spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorInstance> CreateOperatorInstance(const TransformSpec& spec,
+                                                         const RowSchema& input,
+                                                         const RowSchema& left,
+                                                         const RowSchema& right) {
+  switch (spec.kind) {
+    case TransformSpec::Kind::kMap:
+    case TransformSpec::Kind::kFilter:
+    case TransformSpec::Kind::kFlatMap:
+      return std::make_unique<StatelessOperator>(spec);
+    case TransformSpec::Kind::kWindowAggregate:
+      return std::make_unique<WindowAggregateOperator>(spec, input);
+    case TransformSpec::Kind::kWindowJoin:
+      return std::make_unique<WindowJoinOperator>(spec, left, right);
+  }
+  return nullptr;
+}
+
+}  // namespace uberrt::compute

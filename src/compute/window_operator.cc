@@ -1,0 +1,377 @@
+#include "compute/window_operator.h"
+
+#include <algorithm>
+
+#include "storage/archive.h"
+
+namespace uberrt::compute {
+
+namespace {
+
+int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes = 16;
+  for (const Value& v : row) {
+    bytes += 16;
+    if (v.type() == ValueType::kString) bytes += static_cast<int64_t>(v.AsString().size());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string EncodeKey(const Row& row, const std::vector<int>& key_indices) {
+  Row key_row;
+  key_row.reserve(key_indices.size());
+  for (int idx : key_indices) {
+    key_row.push_back(idx >= 0 && idx < static_cast<int>(row.size())
+                          ? row[static_cast<size_t>(idx)]
+                          : Value::Null());
+  }
+  return EncodeRow(key_row);
+}
+
+std::vector<int> ResolveIndices(const RowSchema& schema,
+                                const std::vector<std::string>& fields) {
+  std::vector<int> out;
+  out.reserve(fields.size());
+  for (const std::string& f : fields) out.push_back(schema.FieldIndex(f));
+  return out;
+}
+
+Value Accumulator::Finish(AggregateSpec::Kind kind) const {
+  switch (kind) {
+    case AggregateSpec::Kind::kCount:
+      return Value(count);
+    case AggregateSpec::Kind::kSum:
+      return Value(sum);
+    case AggregateSpec::Kind::kMin:
+      return Value(count == 0 ? 0.0 : min);
+    case AggregateSpec::Kind::kMax:
+      return Value(count == 0 ? 0.0 : max);
+    case AggregateSpec::Kind::kAvg:
+      return Value(count == 0 ? 0.0 : sum / static_cast<double>(count));
+  }
+  return Value::Null();
+}
+
+// --- WindowAggregateOperator -------------------------------------------
+
+WindowAggregateOperator::WindowAggregateOperator(const TransformSpec& spec,
+                                                 const RowSchema& input)
+    : spec_(spec), input_(input) {
+  key_indices_ = ResolveIndices(input, spec.key_fields);
+  for (const AggregateSpec& agg : spec.aggregates) {
+    agg_indices_.push_back(agg.field.empty() ? -1 : input.FieldIndex(agg.field));
+  }
+}
+
+std::vector<TimestampMs> WindowAggregateOperator::AssignWindows(TimestampMs t) const {
+  std::vector<TimestampMs> starts;
+  const WindowSpec& w = spec_.window;
+  if (w.type == WindowSpec::Type::kTumbling) {
+    TimestampMs start = t - ((t % w.size_ms) + w.size_ms) % w.size_ms;
+    starts.push_back(start);
+  } else if (w.type == WindowSpec::Type::kSliding) {
+    TimestampMs last_start = t - ((t % w.slide_ms) + w.slide_ms) % w.slide_ms;
+    for (TimestampMs s = last_start; s > t - w.size_ms; s -= w.slide_ms) {
+      starts.push_back(s);
+    }
+  }
+  return starts;
+}
+
+void WindowAggregateOperator::AddToWindow(const std::string& key, const Row& key_values,
+                                          TimestampMs start, TimestampMs end,
+                                          const Row& row) {
+  WindowKey wk{key, start};
+  auto it = windows_.find(wk);
+  if (it == windows_.end()) {
+    WindowState ws;
+    ws.key_values = key_values;
+    ws.end = end;
+    ws.accumulators.resize(spec_.aggregates.size());
+    state_bytes_ += ApproxRowBytes(key_values) +
+                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
+    it = windows_.emplace(wk, std::move(ws)).first;
+  }
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    int idx = agg_indices_[a];
+    double v = 0.0;
+    if (idx >= 0 && idx < static_cast<int>(row.size())) {
+      v = row[static_cast<size_t>(idx)].ToNumeric();
+    }
+    it->second.accumulators[a].Add(v);
+  }
+}
+
+void WindowAggregateOperator::AddToSession(const std::string& key, const Row& key_values,
+                                           TimestampMs t, const Row& row) {
+  // A session for this record spans [t, t + gap). Find overlapping sessions
+  // of the same key and merge them.
+  TimestampMs new_start = t;
+  TimestampMs new_end = t + spec_.window.gap_ms;
+  std::vector<Accumulator> merged(spec_.aggregates.size());
+  // Collect overlapping sessions (same key, [start,end) intersects).
+  std::vector<WindowKey> to_erase;
+  for (auto& [wk, ws] : windows_) {
+    if (wk.key != key) continue;
+    if (wk.start <= new_end && ws.end >= new_start) {
+      new_start = std::min(new_start, wk.start);
+      new_end = std::max(new_end, ws.end);
+      for (size_t a = 0; a < merged.size(); ++a) {
+        const Accumulator& acc = ws.accumulators[a];
+        if (acc.count > 0) {
+          if (merged[a].count == 0) {
+            merged[a] = acc;
+          } else {
+            merged[a].count += acc.count;
+            merged[a].sum += acc.sum;
+            merged[a].min = std::min(merged[a].min, acc.min);
+            merged[a].max = std::max(merged[a].max, acc.max);
+          }
+        }
+      }
+      to_erase.push_back(wk);
+    }
+  }
+  for (const WindowKey& wk : to_erase) {
+    state_bytes_ -= ApproxRowBytes(windows_[wk].key_values) +
+                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
+    windows_.erase(wk);
+  }
+  WindowState ws;
+  ws.key_values = key_values;
+  ws.end = new_end;
+  ws.accumulators = std::move(merged);
+  state_bytes_ += ApproxRowBytes(key_values) +
+                  static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
+  auto it = windows_.emplace(WindowKey{key, new_start}, std::move(ws)).first;
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    int idx = agg_indices_[a];
+    double v = 0.0;
+    if (idx >= 0 && idx < static_cast<int>(row.size())) {
+      v = row[static_cast<size_t>(idx)].ToNumeric();
+    }
+    it->second.accumulators[a].Add(v);
+  }
+}
+
+void WindowAggregateOperator::ProcessRecord(const Element& element, Emitter* out) {
+  (void)out;
+  TimestampMs t = element.event_time;
+  std::string key = EncodeKey(element.row, key_indices_);
+  Row key_values;
+  for (int idx : key_indices_) {
+    key_values.push_back(idx >= 0 ? element.row[static_cast<size_t>(idx)] : Value::Null());
+  }
+  if (spec_.window.type == WindowSpec::Type::kSession) {
+    if (t + spec_.window.gap_ms + spec_.allowed_lateness_ms <= current_watermark_) {
+      ++late_dropped_;
+      return;
+    }
+    AddToSession(key, key_values, t, element.row);
+    return;
+  }
+  for (TimestampMs start : AssignWindows(t)) {
+    TimestampMs end = start + spec_.window.size_ms;
+    if (end + spec_.allowed_lateness_ms <= current_watermark_) {
+      ++late_dropped_;
+      continue;
+    }
+    AddToWindow(key, key_values, start, end, element.row);
+  }
+}
+
+void WindowAggregateOperator::Fire(const WindowKey& wk, const WindowState& ws,
+                                   Emitter* out) {
+  Row result = ws.key_values;
+  result.push_back(Value(static_cast<int64_t>(wk.start)));
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    result.push_back(ws.accumulators[a].Finish(spec_.aggregates[a].kind));
+  }
+  out->Emit(std::move(result), ws.end - 1);
+}
+
+void WindowAggregateOperator::OnWatermark(TimestampMs watermark, Emitter* out) {
+  current_watermark_ = std::max(current_watermark_, watermark);
+  // Fire windows whose end + lateness has passed. Session windows may keep
+  // extending, but once the watermark passes end + gap no record can extend
+  // them (later records would open a new session past end).
+  std::vector<WindowKey> fired;
+  for (const auto& [wk, ws] : windows_) {
+    TimestampMs fire_at = ws.end + spec_.allowed_lateness_ms;
+    if (watermark == kMaxWatermark || fire_at <= watermark) {
+      fired.push_back(wk);
+    }
+  }
+  for (const WindowKey& wk : fired) {
+    auto it = windows_.find(wk);
+    Fire(wk, it->second, out);
+    state_bytes_ -= ApproxRowBytes(it->second.key_values) +
+                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
+    windows_.erase(it);
+  }
+}
+
+std::string WindowAggregateOperator::SnapshotState() const {
+  // One row per live window:
+  // [key(string), start, end, (count,sum,min,max) x aggregates]
+  std::vector<Row> rows;
+  rows.reserve(windows_.size());
+  for (const auto& [wk, ws] : windows_) {
+    Row row;
+    row.push_back(Value(wk.key));
+    row.push_back(Value(static_cast<int64_t>(wk.start)));
+    row.push_back(Value(static_cast<int64_t>(ws.end)));
+    row.push_back(Value(EncodeRow(ws.key_values)));
+    for (const Accumulator& acc : ws.accumulators) {
+      row.push_back(Value(acc.count));
+      row.push_back(Value(acc.sum));
+      row.push_back(Value(acc.min));
+      row.push_back(Value(acc.max));
+    }
+    rows.push_back(std::move(row));
+  }
+  return storage::EncodeRowBatch(rows);
+}
+
+Status WindowAggregateOperator::RestoreState(const std::string& blob) {
+  Result<std::vector<Row>> rows = storage::DecodeRowBatch(blob);
+  if (!rows.ok()) return rows.status();
+  windows_.clear();
+  state_bytes_ = 0;
+  for (const Row& row : rows.value()) {
+    size_t expected = 4 + spec_.aggregates.size() * 4;
+    if (row.size() != expected) return Status::Corruption("window state row size");
+    WindowKey wk{row[0].AsString(), row[1].AsInt()};
+    WindowState ws;
+    ws.end = row[2].AsInt();
+    Result<Row> key_values = DecodeRow(row[3].AsString());
+    if (!key_values.ok()) return key_values.status();
+    ws.key_values = std::move(key_values.value());
+    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+      Accumulator acc;
+      acc.count = row[4 + a * 4].AsInt();
+      acc.sum = row[5 + a * 4].AsDouble();
+      acc.min = row[6 + a * 4].AsDouble();
+      acc.max = row[7 + a * 4].AsDouble();
+      ws.accumulators.push_back(acc);
+    }
+    state_bytes_ += ApproxRowBytes(ws.key_values) +
+                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
+    windows_.emplace(wk, std::move(ws));
+  }
+  return Status::Ok();
+}
+
+int64_t WindowAggregateOperator::StateBytes() const { return state_bytes_; }
+
+// --- WindowJoinOperator --------------------------------------------------
+
+WindowJoinOperator::WindowJoinOperator(const TransformSpec& spec, const RowSchema& left,
+                                       const RowSchema& right)
+    : spec_(spec), left_(left), right_(right) {
+  left_key_indices_ = ResolveIndices(left, spec.key_fields);
+  right_key_indices_ = ResolveIndices(right, spec.key_fields);
+  // Right fields that are not duplicates of left fields.
+  for (size_t i = 0; i < right.fields().size(); ++i) {
+    if (left.FieldIndex(right.fields()[i].name) < 0) {
+      right_output_indices_.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+Row WindowJoinOperator::JoinRows(const Row& left, const Row& right) const {
+  Row out = left;
+  for (int idx : right_output_indices_) {
+    out.push_back(right[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+void WindowJoinOperator::ProcessRecord(const Element& element, Emitter* out) {
+  TimestampMs t = element.event_time;
+  TimestampMs size = spec_.window.size_ms;
+  TimestampMs start = t - ((t % size) + size) % size;
+  if (start + size + spec_.allowed_lateness_ms <= current_watermark_) {
+    ++late_dropped_;
+    return;
+  }
+  bool is_left = element.side == 0;
+  std::string key = EncodeKey(element.row,
+                              is_left ? left_key_indices_ : right_key_indices_);
+  Buffers& buffers = buffers_[BufferKey{key, start}];
+  if (is_left) {
+    for (const auto& [right_row, right_time] : buffers.right) {
+      out->Emit(JoinRows(element.row, right_row), std::max(t, right_time));
+    }
+    buffers.left.emplace_back(element.row, t);
+  } else {
+    for (const auto& [left_row, left_time] : buffers.left) {
+      out->Emit(JoinRows(left_row, element.row), std::max(t, left_time));
+    }
+    buffers.right.emplace_back(element.row, t);
+  }
+  state_bytes_ += ApproxRowBytes(element.row);
+}
+
+void WindowJoinOperator::OnWatermark(TimestampMs watermark, Emitter* out) {
+  (void)out;
+  current_watermark_ = std::max(current_watermark_, watermark);
+  std::vector<BufferKey> expired;
+  for (const auto& [bk, buffers] : buffers_) {
+    TimestampMs end = bk.start + spec_.window.size_ms;
+    if (watermark == kMaxWatermark ||
+        end + spec_.allowed_lateness_ms <= watermark) {
+      expired.push_back(bk);
+    }
+  }
+  for (const BufferKey& bk : expired) {
+    const Buffers& buffers = buffers_[bk];
+    for (const auto& [row, t] : buffers.left) state_bytes_ -= ApproxRowBytes(row);
+    for (const auto& [row, t] : buffers.right) state_bytes_ -= ApproxRowBytes(row);
+    buffers_.erase(bk);
+  }
+}
+
+std::string WindowJoinOperator::SnapshotState() const {
+  // One row per buffered record: [key, start, side, event_time, enc_row]
+  std::vector<Row> rows;
+  for (const auto& [bk, buffers] : buffers_) {
+    for (const auto& [row, t] : buffers.left) {
+      rows.push_back({Value(bk.key), Value(static_cast<int64_t>(bk.start)),
+                      Value(static_cast<int64_t>(0)), Value(static_cast<int64_t>(t)),
+                      Value(EncodeRow(row))});
+    }
+    for (const auto& [row, t] : buffers.right) {
+      rows.push_back({Value(bk.key), Value(static_cast<int64_t>(bk.start)),
+                      Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(t)),
+                      Value(EncodeRow(row))});
+    }
+  }
+  return storage::EncodeRowBatch(rows);
+}
+
+Status WindowJoinOperator::RestoreState(const std::string& blob) {
+  Result<std::vector<Row>> rows = storage::DecodeRowBatch(blob);
+  if (!rows.ok()) return rows.status();
+  buffers_.clear();
+  state_bytes_ = 0;
+  for (const Row& row : rows.value()) {
+    if (row.size() != 5) return Status::Corruption("join state row size");
+    BufferKey bk{row[0].AsString(), row[1].AsInt()};
+    Result<Row> data = DecodeRow(row[4].AsString());
+    if (!data.ok()) return data.status();
+    state_bytes_ += ApproxRowBytes(data.value());
+    if (row[2].AsInt() == 0) {
+      buffers_[bk].left.emplace_back(std::move(data.value()), row[3].AsInt());
+    } else {
+      buffers_[bk].right.emplace_back(std::move(data.value()), row[3].AsInt());
+    }
+  }
+  return Status::Ok();
+}
+
+int64_t WindowJoinOperator::StateBytes() const { return state_bytes_; }
+
+}  // namespace uberrt::compute

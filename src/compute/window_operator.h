@@ -1,0 +1,145 @@
+#ifndef UBERRT_COMPUTE_WINDOW_OPERATOR_H_
+#define UBERRT_COMPUTE_WINDOW_OPERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compute/operator.h"
+
+namespace uberrt::compute {
+
+/// Incremental aggregate accumulator (one per AggregateSpec per window).
+/// Constant size regardless of how many records flow in — this is the
+/// Flink-style incremental state the paper contrasts with Spark's
+/// materialize-the-batch approach (Section 4.2, 5-10x memory claim).
+struct Accumulator {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    sum += v;
+  }
+
+  Value Finish(AggregateSpec::Kind kind) const;
+};
+
+/// Keyed event-time window aggregation: tumbling, sliding and session
+/// windows with count/sum/min/max/avg aggregates, allowed lateness and
+/// late-record dropping. Output rows are
+/// [key fields..., window_start, aggregate columns...] emitted when the
+/// watermark passes window end + allowed lateness.
+class WindowAggregateOperator : public OperatorInstance {
+ public:
+  WindowAggregateOperator(const TransformSpec& spec, const RowSchema& input);
+
+  void ProcessRecord(const Element& element, Emitter* out) override;
+  void OnWatermark(TimestampMs watermark, Emitter* out) override;
+  std::string SnapshotState() const override;
+  Status RestoreState(const std::string& blob) override;
+  int64_t StateBytes() const override;
+  int64_t late_dropped() const override { return late_dropped_; }
+
+  /// Number of live (unfired) windows, for tests.
+  int64_t LiveWindows() const { return static_cast<int64_t>(windows_.size()); }
+
+ private:
+  struct WindowKey {
+    std::string key;  ///< encoded key-field values
+    TimestampMs start = 0;
+    bool operator<(const WindowKey& other) const {
+      if (start != other.start) return start < other.start;
+      return key < other.key;
+    }
+  };
+  struct WindowState {
+    Row key_values;
+    TimestampMs end = 0;  ///< exclusive
+    std::vector<Accumulator> accumulators;
+  };
+
+  /// Window start times the event timestamp falls into (non-session).
+  std::vector<TimestampMs> AssignWindows(TimestampMs t) const;
+  void AddToWindow(const std::string& key, const Row& key_values, TimestampMs start,
+                   TimestampMs end, const Row& row);
+  void AddToSession(const std::string& key, const Row& key_values, TimestampMs t,
+                    const Row& row);
+  void Fire(const WindowKey& wk, const WindowState& ws, Emitter* out);
+
+  TransformSpec spec_;
+  RowSchema input_;
+  std::vector<int> key_indices_;
+  std::vector<int> agg_indices_;
+  TimestampMs current_watermark_ = INT64_MIN;
+  std::map<WindowKey, WindowState> windows_;
+  int64_t late_dropped_ = 0;
+  int64_t state_bytes_ = 0;
+};
+
+/// Keyed tumbling-window stream-stream inner join. Buffers rows per
+/// (key, window) per side, emits a concatenated row for every cross match,
+/// and clears buffers once the watermark passes the window (the
+/// memory-bound job class of Section 4.2.1).
+class WindowJoinOperator : public OperatorInstance {
+ public:
+  WindowJoinOperator(const TransformSpec& spec, const RowSchema& left,
+                     const RowSchema& right);
+
+  void ProcessRecord(const Element& element, Emitter* out) override;
+  void OnWatermark(TimestampMs watermark, Emitter* out) override;
+  std::string SnapshotState() const override;
+  Status RestoreState(const std::string& blob) override;
+  int64_t StateBytes() const override;
+  int64_t late_dropped() const override { return late_dropped_; }
+
+ private:
+  struct BufferKey {
+    std::string key;
+    TimestampMs start = 0;
+    bool operator<(const BufferKey& other) const {
+      if (start != other.start) return start < other.start;
+      return key < other.key;
+    }
+  };
+  struct Buffers {
+    std::vector<std::pair<Row, TimestampMs>> left;
+    std::vector<std::pair<Row, TimestampMs>> right;
+  };
+
+  Row JoinRows(const Row& left, const Row& right) const;
+
+  TransformSpec spec_;
+  RowSchema left_;
+  RowSchema right_;
+  std::vector<int> left_key_indices_;
+  std::vector<int> right_key_indices_;
+  /// Right-schema field indices copied into the output (dup names dropped).
+  std::vector<int> right_output_indices_;
+  TimestampMs current_watermark_ = INT64_MIN;
+  std::map<BufferKey, Buffers> buffers_;
+  int64_t late_dropped_ = 0;
+  int64_t state_bytes_ = 0;
+};
+
+/// Encoded key-field values of a row (used for keyed partitioning by the
+/// runner as well, so records for one key land on one instance).
+std::string EncodeKey(const Row& row, const std::vector<int>& key_indices);
+
+/// Resolves field names to indices; missing fields become -1.
+std::vector<int> ResolveIndices(const RowSchema& schema,
+                                const std::vector<std::string>& fields);
+
+}  // namespace uberrt::compute
+
+#endif  // UBERRT_COMPUTE_WINDOW_OPERATOR_H_

@@ -1,0 +1,181 @@
+#ifndef UBERRT_CORE_USE_CASES_H_
+#define UBERRT_CORE_USE_CASES_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "workload/generators.h"
+
+namespace uberrt::core {
+
+/// Surge pricing (Section 5.1, Figure 6): the analytical-application
+/// category. A programmatic (API-layer) Flink pipeline aggregates demand
+/// and supply per hexagon geofence per time window and a pricing function
+/// writes multipliers into a key-value store for instant lookup. Tuned for
+/// freshness and availability over consistency: the trips topic is
+/// non-lossless, the job runs without periodic checkpoints (state recomputes
+/// from the stream after failover).
+class SurgePricingApp {
+ public:
+  struct Options {
+    std::string trips_topic = "trips";
+    int32_t partitions = 4;
+    int64_t window_ms = 60'000;
+    double alpha = 0.5;  ///< multiplier sensitivity to demand/supply ratio
+  };
+  static constexpr char kActor[] = "surge";
+
+  explicit SurgePricingApp(RealtimePlatform* platform)
+      : SurgePricingApp(platform, Options()) {}
+  SurgePricingApp(RealtimePlatform* platform, Options options);
+
+  /// Provisions the topic and starts the pipeline.
+  Status Start();
+
+  /// Current multiplier for a geofence (1.0 when none computed yet).
+  double GetMultiplier(const std::string& hex) const;
+  /// All computed multipliers.
+  std::map<std::string, double> Multipliers() const;
+  int64_t windows_computed() const;
+
+  const Options& options() const { return options_; }
+  const std::string& job_id() const { return job_id_; }
+
+ private:
+  RealtimePlatform* platform_;
+  Options options_;
+  std::string job_id_;
+  mutable std::mutex mu_;
+  std::map<std::string, double> multipliers_;  ///< the "sink key-value store"
+  int64_t windows_computed_ = 0;
+};
+
+/// UberEats Restaurant Manager (Section 5.2): the dashboard category.
+/// A FlinkSQL preprocessing job rolls raw orders up per
+/// (restaurant, item, minute) into a Pinot table with a star-tree index;
+/// fixed-shape dashboard queries then hit the pre-aggregates, trading
+/// ad-hoc flexibility for latency, exactly the Section 5.2 tradeoff.
+class RestaurantManagerApp {
+ public:
+  struct Options {
+    std::string orders_topic = "eats_orders";
+    std::string rollup_topic = "eats_orders_rollup";
+    std::string table = "eats_rollup";
+    int32_t partitions = 4;
+  };
+  static constexpr char kActor[] = "restaurant_manager";
+
+  explicit RestaurantManagerApp(RealtimePlatform* platform)
+      : RestaurantManagerApp(platform, Options()) {}
+  RestaurantManagerApp(RealtimePlatform* platform, Options options);
+
+  Status Start();
+
+  /// Top menu items by sales for one restaurant.
+  Result<sql::QueryResult> TopItems(int64_t restaurant_id, int64_t limit = 5);
+  /// Sales per window for one restaurant (time series for the dashboard).
+  Result<sql::QueryResult> SalesTimeseries(int64_t restaurant_id);
+  /// Direct OLAP-layer query used for the latency SLA measurements.
+  Result<olap::OlapResult> SalesByItemOlap(int64_t restaurant_id);
+
+  const Options& options() const { return options_; }
+
+ private:
+  RealtimePlatform* platform_;
+  Options options_;
+  std::string job_id_;
+};
+
+/// Real-time prediction monitoring (Section 5.3): the machine-learning
+/// category. An API-layer Flink job joins the prediction stream to the
+/// observed-outcome stream within a window, computes absolute errors,
+/// pre-aggregates per (model, window) and lands the cube in a Pinot table
+/// for high-QPS accuracy queries. Exercises every layer of Table 1.
+class PredictionMonitoringApp {
+ public:
+  struct Options {
+    std::string predictions_topic = "predictions";
+    std::string outcomes_topic = "outcomes";
+    std::string metrics_topic = "model_metrics";
+    std::string table = "model_accuracy";
+    int32_t partitions = 4;
+    int64_t window_ms = 60'000;
+    int32_t parallelism = 2;  ///< horizontal scalability knob (Section 5.3)
+  };
+  static constexpr char kActor[] = "prediction_monitoring";
+
+  explicit PredictionMonitoringApp(RealtimePlatform* platform)
+      : PredictionMonitoringApp(platform, Options()) {}
+  PredictionMonitoringApp(RealtimePlatform* platform, Options options);
+
+  Status Start();
+
+  /// Mean absolute error per model over all windows (PrestoSQL on Pinot).
+  Result<sql::QueryResult> AccuracyByModel();
+  /// Models whose mean absolute error exceeds `threshold`.
+  Result<std::vector<std::string>> DetectAbnormalModels(double threshold);
+
+  const Options& options() const { return options_; }
+
+ private:
+  RealtimePlatform* platform_;
+  Options options_;
+  std::string job_id_;
+};
+
+/// UberEats Ops automation (Section 5.4): the ad-hoc exploration category.
+/// Ops explore real-time order data with PrestoSQL on Pinot; a discovered
+/// insight is productionized as a rule the automation framework evaluates
+/// continuously, generating alerts (the Covid-era restaurant-capacity
+/// story).
+class EatsOpsAutomationApp {
+ public:
+  struct Options {
+    std::string table = "eats_rollup";  ///< shared with RestaurantManagerApp
+  };
+  static constexpr char kActor[] = "eats_ops";
+
+  struct Rule {
+    std::string name;
+    /// Query returning one numeric column; first row's value is compared.
+    std::string sql;
+    double threshold = 0;
+    bool alert_when_greater = true;
+  };
+  struct Alert {
+    std::string rule;
+    double observed = 0;
+    double threshold = 0;
+    std::string ToString() const;
+  };
+
+  explicit EatsOpsAutomationApp(RealtimePlatform* platform)
+      : EatsOpsAutomationApp(platform, Options()) {}
+  EatsOpsAutomationApp(RealtimePlatform* platform, Options options);
+
+  /// Ad-hoc exploration (PrestoSQL over the Pinot table).
+  Result<sql::QueryResult> Explore(const std::string& sql);
+
+  /// Productionize: register a rule derived from an ad-hoc query.
+  Status AddRule(Rule rule);
+  /// Evaluates every rule once, returning fired alerts.
+  Result<std::vector<Alert>> EvaluateRules();
+
+  /// Also exercises the compute layer the way the paper's ops flow did:
+  /// a standing FlinkSQL job pre-filtering order events for the rules.
+  Status StartPreprocessing(const std::string& orders_topic,
+                            const std::string& sink_topic);
+
+ private:
+  RealtimePlatform* platform_;
+  Options options_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace uberrt::core
+
+#endif  // UBERRT_CORE_USE_CASES_H_

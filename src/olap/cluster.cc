@@ -1,0 +1,489 @@
+#include "olap/cluster.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace uberrt::olap {
+
+Result<OlapResult> MergeAndFinalize(const OlapQuery& query,
+                                    const RowSchema& table_schema,
+                                    std::vector<Row> partial_rows) {
+  OlapResult result;
+  // Output schema.
+  std::vector<FieldSpec> fields;
+  if (!query.aggregations.empty()) {
+    for (const std::string& g : query.group_by) {
+      int idx = table_schema.FieldIndex(g);
+      fields.push_back({g, idx >= 0 ? table_schema.fields()[static_cast<size_t>(idx)].type
+                                    : ValueType::kString});
+    }
+    for (const OlapAggregation& agg : query.aggregations) {
+      fields.push_back({agg.output_name,
+                        agg.kind == OlapAggregation::Kind::kCount ? ValueType::kInt
+                                                                  : ValueType::kDouble});
+    }
+  } else {
+    for (const std::string& s : query.select_columns) {
+      int idx = table_schema.FieldIndex(s);
+      fields.push_back({s, idx >= 0 ? table_schema.fields()[static_cast<size_t>(idx)].type
+                                    : ValueType::kString});
+    }
+  }
+  result.schema = RowSchema(fields);
+
+  if (!query.aggregations.empty()) {
+    size_t num_groups = query.group_by.size();
+    struct GroupEntry {
+      Row key_values;
+      std::vector<AggAccumulator> accs;
+    };
+    std::map<std::string, GroupEntry> groups;
+    for (const Row& partial : partial_rows) {
+      if (partial.size() != num_groups + query.aggregations.size() * kAccumulatorFields) {
+        return Status::Internal("partial row width mismatch");
+      }
+      std::string key;
+      for (size_t g = 0; g < num_groups; ++g) {
+        key.append(partial[g].ToString());
+        key.push_back('\0');
+      }
+      GroupEntry& entry = groups[key];
+      if (entry.accs.empty()) {
+        entry.accs.resize(query.aggregations.size());
+        entry.key_values.assign(partial.begin(),
+                                partial.begin() + static_cast<long>(num_groups));
+      }
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        Result<AggAccumulator> acc =
+            ReadAccumulator(partial, num_groups + a * kAccumulatorFields);
+        if (!acc.ok()) return acc.status();
+        entry.accs[a].Merge(acc.value());
+      }
+    }
+    // Global aggregation with zero matching rows still returns one row of
+    // zero-valued aggregates (COUNT() = 0), as SQL does.
+    if (groups.empty() && num_groups == 0) {
+      GroupEntry empty;
+      empty.accs.resize(query.aggregations.size());
+      groups.emplace("", std::move(empty));
+    }
+    for (auto& [key, entry] : groups) {
+      Row row = std::move(entry.key_values);
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        row.push_back(entry.accs[a].Finalize(query.aggregations[a].kind));
+      }
+      result.rows.push_back(std::move(row));
+    }
+  } else {
+    result.rows = std::move(partial_rows);
+  }
+
+  // ORDER BY.
+  if (!query.order_by.empty()) {
+    int idx = result.schema.FieldIndex(query.order_by);
+    if (idx < 0) {
+      return Status::InvalidArgument("order-by column not in output: " + query.order_by);
+    }
+    bool desc = query.order_desc;
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [idx, desc](const Row& a, const Row& b) {
+                       const Value& va = a[static_cast<size_t>(idx)];
+                       const Value& vb = b[static_cast<size_t>(idx)];
+                       return desc ? vb < va : va < vb;
+                     });
+  }
+  // LIMIT.
+  if (query.limit >= 0 && static_cast<int64_t>(result.rows.size()) > query.limit) {
+    result.rows.resize(static_cast<size_t>(query.limit));
+  }
+  return result;
+}
+
+Status OlapCluster::CreateTable(TableConfig config, const std::string& source_topic,
+                                ClusterTableOptions options) {
+  if (config.upsert_enabled) {
+    if (config.primary_key_column.empty() ||
+        !config.schema.HasField(config.primary_key_column)) {
+      return Status::InvalidArgument("upsert table needs a valid primary key column");
+    }
+    if (!config.index_config.sorted_column.empty()) {
+      return Status::InvalidArgument(
+          "upsert tables cannot use a sorted column (row order must be stable)");
+    }
+    if (!config.index_config.star_tree_dimensions.empty()) {
+      return Status::InvalidArgument(
+          "upsert tables cannot use a star-tree (pre-aggregates cannot see "
+          "validity updates)");
+    }
+  }
+  Result<int32_t> partitions = bus_->NumPartitions(source_topic);
+  if (!partitions.ok()) return partitions.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(config.name) > 0) {
+    return Status::AlreadyExists("table exists: " + config.name);
+  }
+  Table t;
+  t.options = options;
+  t.topic = source_topic;
+  t.num_stream_partitions = partitions.value();
+  t.servers.resize(static_cast<size_t>(options.num_servers));
+  for (int32_t s = 0; s < options.num_servers; ++s) t.servers[static_cast<size_t>(s)].id = s;
+  for (int32_t p = 0; p < partitions.value(); ++p) {
+    Server& server = t.servers[static_cast<size_t>(p % options.num_servers)];
+    ServerPartition sp;
+    sp.data = std::make_unique<RealtimePartition>(config, p);
+    Result<int64_t> begin = bus_->BeginOffset(source_topic, p);
+    if (!begin.ok()) return begin.status();
+    sp.stream_offset = begin.value();
+    server.partitions.emplace(p, std::move(sp));
+  }
+  t.config = std::move(config);
+  std::string name = t.config.name;
+  tables_.emplace(std::move(name), std::move(t));
+  return Status::Ok();
+}
+
+bool OlapCluster::HasTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(table) > 0;
+}
+
+Result<TableConfig> OlapCluster::GetTableConfig(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  return it->second.config;
+}
+
+Result<const OlapCluster::Table*> OlapCluster::FindTable(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  return &it->second;
+}
+
+Result<OlapCluster::Table*> OlapCluster::FindTable(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  return &it->second;
+}
+
+Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
+                               ServerPartition* sp, bool force) {
+  Result<std::shared_ptr<Segment>> sealed = sp->data->SealIfNeeded(force);
+  if (!sealed.ok()) return sealed.status();
+  if (sealed.value() == nullptr) return Status::Ok();
+  const std::shared_ptr<Segment>& segment = sealed.value();
+  std::string key = SegmentKey(t->config.name, segment->name());
+  std::string blob = segment->Serialize();
+
+  if (t->options.archival_mode == ArchivalMode::kSyncCentralized) {
+    // One controller, synchronous backup: a store failure blocks this
+    // partition's ingestion until the backup succeeds.
+    Status put = store_->Put(key, blob);
+    if (!put.ok()) {
+      sp->archival_blocked = true;
+      t->archival_queue.push_back({key, std::move(blob)});
+      metrics_.GetCounter("olap." + t->config.name + ".ingestion_blocked")->Increment();
+      return Status::Ok();  // seal kept; consumption halted
+    }
+    metrics_.GetCounter("olap." + t->config.name + ".segments_archived")->Increment();
+    return Status::Ok();
+  }
+
+  // Async peer-to-peer: replicate to peers now, archive later.
+  const auto& sealed_list = sp->data->sealed();
+  const RealtimePartition::SealedSegment& sealed_entry = sealed_list.back();
+  int32_t replicas_wanted = t->options.replication_factor - 1;
+  for (int32_t offset = 1;
+       offset < static_cast<int32_t>(t->servers.size()) && replicas_wanted > 0;
+       ++offset) {
+    int32_t peer = (server->id + offset) % static_cast<int32_t>(t->servers.size());
+    ReplicaEntry replica;
+    replica.home_server = server->id;
+    replica.home_partition = partition_id;
+    replica.copy = sealed_entry;  // shares the immutable Segment
+    t->replicas[segment->name()].push_back(std::move(replica));
+    --replicas_wanted;
+    (void)peer;
+  }
+  t->archival_queue.push_back({key, std::move(blob)});
+  return Status::Ok();
+}
+
+Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
+                                        size_t max_per_partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  Table* t = found.value();
+  int64_t ingested = 0;
+  for (Server& server : t->servers) {
+    for (auto& [partition_id, sp] : server.partitions) {
+      if (sp.archival_blocked) {
+        // Sync mode: retry the pending backup before consuming anything.
+        bool unblocked = true;
+        while (!t->archival_queue.empty()) {
+          PendingArchive& pending = t->archival_queue.front();
+          if (!store_->Put(pending.key, pending.blob).ok()) {
+            unblocked = false;
+            break;
+          }
+          metrics_.GetCounter("olap." + table + ".segments_archived")->Increment();
+          t->archival_queue.pop_front();
+        }
+        if (!unblocked) continue;  // still halted
+        sp.archival_blocked = false;
+      }
+      // Consume at most up to the seal threshold before attempting a seal,
+      // so a blocked archival (sync mode) genuinely halts consumption
+      // instead of buffering unboundedly past the segment size.
+      size_t budget = max_per_partition;
+      while (budget > 0) {
+        int64_t room =
+            sp.data->segment_rows_threshold() - sp.data->BufferedRows();
+        if (room <= 0) {
+          UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
+          if (sp.archival_blocked) break;  // halted until the store is back
+          continue;
+        }
+        size_t want = std::min(budget, static_cast<size_t>(room));
+        Result<std::vector<stream::Message>> batch =
+            bus_->Fetch(t->topic, partition_id, sp.stream_offset, want);
+        if (!batch.ok()) {
+          if (batch.status().code() == StatusCode::kOutOfRange) {
+            Result<int64_t> begin = bus_->BeginOffset(t->topic, partition_id);
+            if (begin.ok()) sp.stream_offset = begin.value();
+            continue;
+          }
+          break;  // cluster transiently unavailable
+        }
+        if (batch.value().empty()) break;
+        budget -= batch.value().size();
+        for (const stream::Message& m : batch.value()) {
+          Result<Row> row = DecodeRow(m.value);
+          sp.stream_offset = m.offset + 1;
+          if (!row.ok()) {
+            metrics_.GetCounter("olap." + table + ".decode_errors")->Increment();
+            continue;
+          }
+          Status ingest = sp.data->Ingest(std::move(row.value()));
+          if (!ingest.ok()) return ingest;
+          ++ingested;
+        }
+      }
+      UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
+    }
+  }
+  metrics_.GetCounter("olap." + table + ".rows_ingested")->Increment(ingested);
+  return ingested;
+}
+
+Result<int64_t> OlapCluster::IngestAll(const std::string& table, int32_t max_cycles) {
+  int64_t total = 0;
+  for (int32_t i = 0; i < max_cycles; ++i) {
+    Result<int64_t> n = IngestOnce(table);
+    if (!n.ok()) return n;
+    total += n.value();
+    Result<int64_t> lag = IngestLag(table);
+    if (!lag.ok()) return lag.status();
+    if (lag.value() == 0) return total;
+  }
+  return Status::Timeout("ingestion did not catch up");
+}
+
+Result<int64_t> OlapCluster::IngestLag(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<const Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  const Table* t = found.value();
+  int64_t lag = 0;
+  for (const Server& server : t->servers) {
+    for (const auto& [partition_id, sp] : server.partitions) {
+      Result<int64_t> end = bus_->EndOffset(t->topic, partition_id);
+      if (!end.ok()) return end.status();
+      lag += std::max<int64_t>(0, end.value() - sp.stream_offset);
+    }
+  }
+  return lag;
+}
+
+Result<OlapResult> OlapCluster::Query(const std::string& table,
+                                      const OlapQuery& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<const Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  const Table* t = found.value();
+
+  // Partition-aware routing (Section 4.3.1): an upsert table queried with
+  // an equality predicate on the primary key lives entirely in one
+  // partition.
+  int32_t routed_partition = -1;
+  if (t->config.upsert_enabled) {
+    for (const FilterPredicate& pred : query.filters) {
+      if (pred.op == FilterPredicate::Op::kEq &&
+          pred.column == t->config.primary_key_column) {
+        routed_partition = static_cast<int32_t>(KeyToPartition(
+            pred.value.ToString(), static_cast<uint32_t>(t->num_stream_partitions)));
+        break;
+      }
+    }
+  }
+
+  OlapQueryStats stats;
+  std::vector<Row> partials;
+  for (const Server& server : t->servers) {
+    bool touched = false;
+    for (const auto& [partition_id, sp] : server.partitions) {
+      if (routed_partition >= 0 && partition_id != routed_partition) continue;
+      touched = true;
+      Result<OlapResult> partial = sp.data->Execute(query, &stats);
+      if (!partial.ok()) return partial.status();
+      for (Row& row : partial.value().rows) partials.push_back(std::move(row));
+    }
+    if (touched) ++stats.servers_queried;
+  }
+  Result<OlapResult> merged = MergeAndFinalize(query, t->config.schema, std::move(partials));
+  if (!merged.ok()) return merged;
+  merged.value().stats = stats;
+  return merged;
+}
+
+Result<int64_t> OlapCluster::ForceSeal(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  Table* t = found.value();
+  int64_t sealed = 0;
+  for (Server& server : t->servers) {
+    for (auto& [partition_id, sp] : server.partitions) {
+      int64_t before = sp.data->NumSealedSegments();
+      UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp, /*force=*/true));
+      sealed += sp.data->NumSealedSegments() - before;
+    }
+  }
+  return sealed;
+}
+
+Result<int64_t> OlapCluster::DrainArchivalQueue(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  Table* t = found.value();
+  int64_t archived = 0;
+  while (!t->archival_queue.empty()) {
+    PendingArchive& pending = t->archival_queue.front();
+    if (!store_->Put(pending.key, pending.blob).ok()) break;  // retry later
+    ++archived;
+    t->archival_queue.pop_front();
+  }
+  if (archived > 0) {
+    metrics_.GetCounter("olap." + table + ".segments_archived")->Increment(archived);
+  }
+  return archived;
+}
+
+int64_t OlapCluster::ArchivalQueueDepth(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : static_cast<int64_t>(it->second.archival_queue.size());
+}
+
+Status OlapCluster::KillServer(const std::string& table, int32_t server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  Table* t = found.value();
+  if (server_id < 0 || server_id >= static_cast<int32_t>(t->servers.size())) {
+    return Status::InvalidArgument("no server " + std::to_string(server_id));
+  }
+  for (auto& [partition_id, sp] : t->servers[static_cast<size_t>(server_id)].partitions) {
+    sp.data->DropSealedSegments();
+  }
+  return Status::Ok();
+}
+
+Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
+                                                  int32_t server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  Table* t = found.value();
+  if (server_id < 0 || server_id >= static_cast<int32_t>(t->servers.size())) {
+    return Status::InvalidArgument("no server " + std::to_string(server_id));
+  }
+  RecoveryReport report;
+  // Which segments did this server own? Peer replica registry + archival
+  // store listing both know; use the replica registry for names, falling
+  // back to the store listing.
+  for (auto& [segment_name, replicas] : t->replicas) {
+    for (ReplicaEntry& replica : replicas) {
+      if (replica.home_server != server_id) continue;
+      Server& server = t->servers[static_cast<size_t>(server_id)];
+      auto pit = server.partitions.find(replica.home_partition);
+      if (pit == server.partitions.end()) continue;
+      pit->second.data->RestoreSegment(replica.copy);
+      ++report.segments_from_peers;
+    }
+  }
+  // Anything archived but not replicated (sync mode) comes from the store.
+  for (const std::string& key : store_->List("segments/" + table + "/")) {
+    std::string segment_name = key.substr(("segments/" + table + "/").size());
+    if (t->replicas.count(segment_name) > 0) continue;  // already restored
+    // Only restore segments whose home partition is on this server.
+    Result<std::string> blob = store_->Get(key);
+    if (!blob.ok()) {
+      ++report.segments_lost;
+      continue;
+    }
+    Result<std::shared_ptr<Segment>> segment = Segment::Deserialize(blob.value());
+    if (!segment.ok()) {
+      ++report.segments_lost;
+      continue;
+    }
+    // Segment names are "<table>_p<partition>_s<seq>"; parse the partition.
+    size_t p_pos = segment_name.rfind("_p");
+    size_t s_pos = segment_name.rfind("_s");
+    if (p_pos == std::string::npos || s_pos == std::string::npos || s_pos <= p_pos) {
+      ++report.segments_lost;
+      continue;
+    }
+    int32_t partition_id =
+        static_cast<int32_t>(std::stol(segment_name.substr(p_pos + 2, s_pos - p_pos - 2)));
+    if (partition_id % static_cast<int32_t>(t->servers.size()) != server_id) continue;
+    Server& server = t->servers[static_cast<size_t>(server_id)];
+    auto pit = server.partitions.find(partition_id);
+    if (pit == server.partitions.end()) continue;
+    RealtimePartition::SealedSegment restored;
+    restored.segment = std::move(segment.value());
+    pit->second.data->RestoreSegment(std::move(restored));
+    ++report.segments_from_store;
+  }
+  return report;
+}
+
+Result<int64_t> OlapCluster::NumRows(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<const Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  int64_t rows = 0;
+  for (const Server& server : found.value()->servers) {
+    for (const auto& [partition_id, sp] : server.partitions) rows += sp.data->NumRows();
+  }
+  return rows;
+}
+
+Result<int64_t> OlapCluster::MemoryBytes(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<const Table*> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  int64_t bytes = 0;
+  for (const Server& server : found.value()->servers) {
+    for (const auto& [partition_id, sp] : server.partitions) {
+      bytes += sp.data->MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace uberrt::olap

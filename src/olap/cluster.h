@@ -1,0 +1,158 @@
+#ifndef UBERRT_OLAP_CLUSTER_H_
+#define UBERRT_OLAP_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "olap/query.h"
+#include "olap/table.h"
+#include "storage/object_store.h"
+#include "stream/message_bus.h"
+
+namespace uberrt::olap {
+
+/// How sealed segments reach the archival store (Section 4.3.4).
+enum class ArchivalMode {
+  /// Original Pinot design: completed segments synchronously backed up
+  /// through one controller; a store outage halts all ingestion.
+  kSyncCentralized,
+  /// Uber's contribution: seal completes immediately, replicas are served
+  /// peer-to-peer, archival happens asynchronously and retries.
+  kAsyncPeerToPeer,
+};
+
+struct ClusterTableOptions {
+  int32_t num_servers = 2;
+  ArchivalMode archival_mode = ArchivalMode::kAsyncPeerToPeer;
+  /// Peer replicas kept per sealed segment in async mode.
+  int32_t replication_factor = 2;
+};
+
+struct RecoveryReport {
+  int64_t segments_from_peers = 0;
+  int64_t segments_from_store = 0;
+  int64_t segments_lost = 0;
+};
+
+/// The Pinot-like cluster: realtime servers ingesting from the stream
+/// (stream partition p lives on server p % num_servers, shared-nothing) and
+/// a broker executing scatter-gather-merge queries (Section 4.3). For
+/// upsert tables with an equality filter on the primary key, the broker
+/// routes to the single owning partition (the Section 4.3.1 routing
+/// strategy) instead of fanning out.
+///
+/// Deterministic pump model: ingestion advances via IngestOnce()/IngestAll()
+/// and async archival via DrainArchivalQueue(), so tests and benches control
+/// interleaving exactly.
+class OlapCluster {
+ public:
+  OlapCluster(stream::MessageBus* bus, storage::ObjectStore* segment_store)
+      : bus_(bus), store_(segment_store) {}
+
+  /// Registers a table ingesting from `source_topic` (must exist; its
+  /// partition count defines the table's partitions).
+  Status CreateTable(TableConfig config, const std::string& source_topic,
+                     ClusterTableOptions options = ClusterTableOptions());
+
+  bool HasTable(const std::string& table) const;
+  Result<TableConfig> GetTableConfig(const std::string& table) const;
+
+  /// One ingestion pump: every server consumes up to `max_per_partition`
+  /// messages from each owned stream partition. Returns rows ingested.
+  /// In sync-archival mode, partitions blocked on a failed archival do not
+  /// consume (the paper's "all data ingestion came to a halt").
+  Result<int64_t> IngestOnce(const std::string& table, size_t max_per_partition = 1024);
+
+  /// Pumps until the table has consumed to the topic's end (bounded cycles).
+  Result<int64_t> IngestAll(const std::string& table, int32_t max_cycles = 1000);
+
+  /// Unconsumed messages in the source topic.
+  Result<int64_t> IngestLag(const std::string& table) const;
+
+  /// Broker query: route (or scatter), execute, merge, finalize, order,
+  /// limit.
+  Result<OlapResult> Query(const std::string& table, const OlapQuery& query) const;
+
+  /// Force-seals every consuming buffer into an immutable (indexed)
+  /// segment, e.g. before latency benchmarks. Returns segments sealed.
+  Result<int64_t> ForceSeal(const std::string& table);
+
+  /// Async-mode archival pump; retries failures. Returns segments archived.
+  Result<int64_t> DrainArchivalQueue(const std::string& table);
+  int64_t ArchivalQueueDepth(const std::string& table) const;
+
+  /// Simulates losing a server's in-memory sealed segments.
+  Status KillServer(const std::string& table, int32_t server_id);
+
+  /// Restores a killed server's segments: peers first (async mode), then
+  /// the archival store.
+  Result<RecoveryReport> RecoverServer(const std::string& table, int32_t server_id);
+
+  Result<int64_t> NumRows(const std::string& table) const;
+  Result<int64_t> MemoryBytes(const std::string& table) const;
+
+ private:
+  struct ServerPartition {
+    std::unique_ptr<RealtimePartition> data;
+    int64_t stream_offset = 0;
+    bool archival_blocked = false;  ///< sync mode: waiting on the store
+  };
+  struct Server {
+    int32_t id = 0;
+    // stream partition id -> data
+    std::map<int32_t, ServerPartition> partitions;
+  };
+  struct PendingArchive {
+    std::string key;
+    std::string blob;
+  };
+  struct ReplicaEntry {
+    int32_t home_server = 0;
+    int32_t home_partition = 0;
+    RealtimePartition::SealedSegment copy;
+  };
+  struct Table {
+    TableConfig config;
+    ClusterTableOptions options;
+    std::string topic;
+    int32_t num_stream_partitions = 0;
+    std::vector<Server> servers;
+    std::deque<PendingArchive> archival_queue;
+    // segment name -> peer replicas (on servers != home)
+    std::map<std::string, std::vector<ReplicaEntry>> replicas;
+  };
+
+  std::string SegmentKey(const std::string& table, const std::string& segment) const {
+    return "segments/" + table + "/" + segment;
+  }
+  Result<const Table*> FindTable(const std::string& table) const;
+  Result<Table*> FindTable(const std::string& table);
+  Status HandleSeal(Table* t, Server* server, int32_t partition_id,
+                    ServerPartition* sp, bool force = false);
+
+  stream::MessageBus* bus_;
+  storage::ObjectStore* store_;
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+  mutable MetricsRegistry metrics_;
+
+ public:
+  MetricsRegistry* metrics() { return &metrics_; }
+};
+
+/// Merges partial rows from segments/servers, finalizes accumulators and
+/// applies ORDER BY / LIMIT. Exposed for the SQL layer's pushed-down
+/// aggregations.
+Result<OlapResult> MergeAndFinalize(const OlapQuery& query, const RowSchema& table_schema,
+                                    std::vector<Row> partial_rows);
+
+}  // namespace uberrt::olap
+
+#endif  // UBERRT_OLAP_CLUSTER_H_

@@ -1,0 +1,108 @@
+#ifndef UBERRT_OLAP_QUERY_H_
+#define UBERRT_OLAP_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/value.h"
+
+namespace uberrt::olap {
+
+/// One ANDed predicate of an OLAP filter.
+struct FilterPredicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+  std::string column;
+  Op op = Op::kEq;
+  Value value;
+
+  static FilterPredicate Eq(std::string column, Value v) {
+    return {std::move(column), Op::kEq, std::move(v)};
+  }
+  static FilterPredicate Range(std::string column, Op op, Value v) {
+    return {std::move(column), op, std::move(v)};
+  }
+};
+
+/// Aggregation requested from the OLAP layer.
+struct OlapAggregation {
+  enum class Kind { kCount, kSum, kMin, kMax, kAvg };
+  Kind kind = Kind::kCount;
+  std::string column;  ///< ignored for kCount
+  std::string output_name;
+
+  static OlapAggregation Count(std::string output) {
+    return {Kind::kCount, "", std::move(output)};
+  }
+  static OlapAggregation Sum(std::string column, std::string output) {
+    return {Kind::kSum, std::move(column), std::move(output)};
+  }
+  static OlapAggregation Min(std::string column, std::string output) {
+    return {Kind::kMin, std::move(column), std::move(output)};
+  }
+  static OlapAggregation Max(std::string column, std::string output) {
+    return {Kind::kMax, std::move(column), std::move(output)};
+  }
+  static OlapAggregation Avg(std::string column, std::string output) {
+    return {Kind::kAvg, std::move(column), std::move(output)};
+  }
+};
+
+/// The limited-SQL query shape the OLAP layer serves (paper Section 3,
+/// "OLAP"): filters, aggregations, group by, order by, limit — but no joins
+/// or subqueries (those belong to the SQL layer on top, Section 4.3.2).
+struct OlapQuery {
+  /// Raw selection mode: project these columns (empty + no aggregations is
+  /// invalid). Mutually exclusive with aggregations.
+  std::vector<std::string> select_columns;
+  std::vector<OlapAggregation> aggregations;
+  std::vector<FilterPredicate> filters;  ///< ANDed
+  std::vector<std::string> group_by;
+  /// Output column to order by ("" = none).
+  std::string order_by;
+  bool order_desc = true;
+  int64_t limit = -1;  ///< -1 = unlimited
+};
+
+/// Mergeable partial aggregate. Segments return *partial* rows — group
+/// values followed by one 4-value accumulator (count, sum, min, max) per
+/// aggregation — which the broker merges across segments and servers and
+/// then finalizes (scatter-gather-merge, Section 4.3).
+struct AggAccumulator {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double v);
+  void Merge(const AggAccumulator& other);
+  Value Finalize(OlapAggregation::Kind kind) const;
+};
+
+/// Number of Row fields one serialized accumulator occupies.
+inline constexpr size_t kAccumulatorFields = 4;
+
+/// Appends [count, sum, min, max] to a partial row.
+void AppendAccumulator(Row* row, const AggAccumulator& acc);
+/// Reads an accumulator back from a partial row at `offset`.
+Result<AggAccumulator> ReadAccumulator(const Row& row, size_t offset);
+
+/// Per-query execution statistics (observability + bench assertions).
+struct OlapQueryStats {
+  int64_t segments_scanned = 0;
+  int64_t rows_scanned = 0;      ///< rows visited by scans (0 for pure index hits)
+  int64_t star_tree_hits = 0;    ///< segments answered from the star-tree
+  int64_t servers_queried = 0;
+};
+
+struct OlapResult {
+  RowSchema schema;
+  std::vector<Row> rows;
+  OlapQueryStats stats;
+};
+
+}  // namespace uberrt::olap
+
+#endif  // UBERRT_OLAP_QUERY_H_

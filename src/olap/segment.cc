@@ -1,0 +1,824 @@
+#include "olap/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+namespace uberrt::olap {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadU32(const std::string& data, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(out, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool ReadU64(const std::string& data, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(out, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool ReadString(const std::string& data, size_t* pos, std::string* out) {
+  uint32_t len;
+  if (!ReadU32(data, pos, &len)) return false;
+  if (*pos + len > data.size()) return false;
+  out->assign(data, *pos, len);
+  *pos += len;
+  return true;
+}
+
+int64_t ValueMemoryBytes(const Value& v) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (v.type() == ValueType::kString) bytes += static_cast<int64_t>(v.AsString().size());
+  return bytes;
+}
+
+/// Coerces a cell to the column's declared type (ingest normalization).
+Value CoerceTo(ValueType type, const Value& v) {
+  if (v.is_null() || v.type() == type) return v;
+  switch (type) {
+    case ValueType::kInt:
+      return Value(static_cast<int64_t>(v.ToNumeric()));
+    case ValueType::kDouble:
+      return Value(v.ToNumeric());
+    case ValueType::kBool:
+      return Value(v.ToNumeric() != 0.0);
+    case ValueType::kString:
+      return Value(v.ToString());
+    case ValueType::kNull:
+      return v;
+  }
+  return v;
+}
+
+std::string EncodeIdTuple(const std::vector<uint32_t>& ids, size_t count) {
+  std::string key;
+  key.reserve(count * 4);
+  for (size_t i = 0; i < count; ++i) AppendU32(&key, ids[i]);
+  return key;
+}
+
+}  // namespace
+
+// --- BitPackedVector ------------------------------------------------------
+
+BitPackedVector::BitPackedVector(const std::vector<uint32_t>& values,
+                                 uint32_t max_value) {
+  bits_ = 1;
+  while ((1ULL << bits_) <= max_value) ++bits_;
+  size_ = values.size();
+  words_.assign((size_ * static_cast<size_t>(bits_) + 63) / 64, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t bit = i * static_cast<size_t>(bits_);
+    size_t word = bit / 64;
+    int shift = static_cast<int>(bit % 64);
+    words_[word] |= static_cast<uint64_t>(values[i]) << shift;
+    if (shift + bits_ > 64) {
+      words_[word + 1] |= static_cast<uint64_t>(values[i]) >> (64 - shift);
+    }
+  }
+}
+
+uint32_t BitPackedVector::Get(size_t index) const {
+  size_t bit = index * static_cast<size_t>(bits_);
+  size_t word = bit / 64;
+  int shift = static_cast<int>(bit % 64);
+  uint64_t v = words_[word] >> shift;
+  if (shift + bits_ > 64) v |= words_[word + 1] << (64 - shift);
+  return static_cast<uint32_t>(v & ((1ULL << bits_) - 1));
+}
+
+// --- AggAccumulator helpers (shared partial-aggregate layout) -------------
+
+void AggAccumulator::Add(double v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+}
+
+void AggAccumulator::Merge(const AggAccumulator& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+}
+
+Value AggAccumulator::Finalize(OlapAggregation::Kind kind) const {
+  switch (kind) {
+    case OlapAggregation::Kind::kCount: return Value(count);
+    case OlapAggregation::Kind::kSum: return Value(sum);
+    case OlapAggregation::Kind::kMin: return Value(count == 0 ? 0.0 : min);
+    case OlapAggregation::Kind::kMax: return Value(count == 0 ? 0.0 : max);
+    case OlapAggregation::Kind::kAvg:
+      return Value(count == 0 ? 0.0 : sum / static_cast<double>(count));
+  }
+  return Value::Null();
+}
+
+void AppendAccumulator(Row* row, const AggAccumulator& acc) {
+  row->push_back(Value(acc.count));
+  row->push_back(Value(acc.sum));
+  row->push_back(Value(acc.min));
+  row->push_back(Value(acc.max));
+}
+
+Result<AggAccumulator> ReadAccumulator(const Row& row, size_t offset) {
+  if (offset + 4 > row.size()) return Status::Corruption("partial row too short");
+  AggAccumulator acc;
+  acc.count = row[offset].AsInt();
+  acc.sum = row[offset + 1].AsDouble();
+  acc.min = row[offset + 2].AsDouble();
+  acc.max = row[offset + 3].AsDouble();
+  return acc;
+}
+
+// --- Segment build ---------------------------------------------------------
+
+int64_t Segment::Column::MemoryBytes() const {
+  int64_t bytes = 64;
+  for (const Value& v : dictionary) bytes += ValueMemoryBytes(v);
+  bytes += packed.MemoryBytes();
+  bytes += static_cast<int64_t>(plain.capacity() * sizeof(uint32_t));
+  if (has_inverted) {
+    for (const auto& list : inverted) {
+      bytes += static_cast<int64_t>(list.capacity() * sizeof(uint32_t)) + 24;
+    }
+  }
+  return bytes;
+}
+
+Result<std::shared_ptr<Segment>> Segment::Build(std::string name, RowSchema schema,
+                                                std::vector<Row> rows,
+                                                SegmentIndexConfig config) {
+  auto segment = std::shared_ptr<Segment>(new Segment());
+  segment->name_ = std::move(name);
+  segment->schema_ = std::move(schema);
+  segment->config_ = config;
+  const size_t num_cols = segment->schema_.NumFields();
+  for (const Row& row : rows) {
+    if (row.size() != num_cols) {
+      return Status::InvalidArgument("row width mismatch in segment build");
+    }
+  }
+
+  // Sort rows by the sorted column, if any.
+  if (!config.sorted_column.empty()) {
+    int idx = segment->schema_.FieldIndex(config.sorted_column);
+    if (idx < 0) return Status::InvalidArgument("sorted column not in schema");
+    segment->sorted_column_ = idx;
+    std::stable_sort(rows.begin(), rows.end(), [idx](const Row& a, const Row& b) {
+      return a[static_cast<size_t>(idx)] < b[static_cast<size_t>(idx)];
+    });
+  }
+  segment->num_rows_ = rows.size();
+
+  // Dictionary-encode each column.
+  segment->columns_.resize(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    Column& column = segment->columns_[c];
+    column.type = segment->schema_.fields()[c].type;
+    std::set<Value> values;
+    for (const Row& row : rows) values.insert(CoerceTo(column.type, row[c]));
+    column.dictionary.assign(values.begin(), values.end());
+    std::vector<uint32_t> ids(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      auto it = std::lower_bound(column.dictionary.begin(), column.dictionary.end(),
+                                 CoerceTo(column.type, rows[r][c]));
+      ids[r] = static_cast<uint32_t>(it - column.dictionary.begin());
+    }
+    uint32_t max_id =
+        column.dictionary.empty() ? 0
+                                  : static_cast<uint32_t>(column.dictionary.size() - 1);
+    if (config.bit_packed_forward_index) {
+      column.packed = BitPackedVector(ids, max_id);
+    } else {
+      column.plain = std::move(ids);
+    }
+  }
+
+  segment->BuildIndexes(config);
+  return segment;
+}
+
+void Segment::BuildIndexes(const SegmentIndexConfig& config) {
+  // Inverted indexes.
+  for (const std::string& name : config.inverted_columns) {
+    int idx = schema_.FieldIndex(name);
+    if (idx < 0) continue;
+    Column& column = columns_[static_cast<size_t>(idx)];
+    column.has_inverted = true;
+    column.inverted.assign(column.dictionary.size(), {});
+    for (size_t r = 0; r < num_rows_; ++r) {
+      column.inverted[column.IdAt(r)].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // Star-tree cube.
+  star_dims_.clear();
+  star_metrics_.clear();
+  for (const std::string& dim : config.star_tree_dimensions) {
+    int idx = schema_.FieldIndex(dim);
+    if (idx >= 0) star_dims_.push_back(idx);
+  }
+  for (const std::string& metric : config.star_tree_metrics) {
+    int idx = schema_.FieldIndex(metric);
+    if (idx >= 0) star_metrics_.push_back(idx);
+  }
+  star_tree_.clear();
+  star_root_ = StarTreeCell{};
+  if (star_dims_.empty()) return;
+  star_tree_.resize(star_dims_.size());
+  size_t num_metrics = star_metrics_.size();
+  star_root_.sum.assign(num_metrics, 0);
+  star_root_.min.assign(num_metrics, 0);
+  star_root_.max.assign(num_metrics, 0);
+  std::vector<uint32_t> ids(star_dims_.size());
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t d = 0; d < star_dims_.size(); ++d) {
+      ids[d] = columns_[static_cast<size_t>(star_dims_[d])].IdAt(r);
+    }
+    std::vector<double> metric_values(num_metrics);
+    for (size_t m = 0; m < num_metrics; ++m) {
+      const Column& mc = columns_[static_cast<size_t>(star_metrics_[m])];
+      metric_values[m] = mc.dictionary[mc.IdAt(r)].ToNumeric();
+    }
+    auto update = [&](StarTreeCell& cell) {
+      if (cell.sum.empty()) {
+        cell.sum.assign(num_metrics, 0);
+        cell.min.assign(num_metrics, 0);
+        cell.max.assign(num_metrics, 0);
+      }
+      for (size_t m = 0; m < num_metrics; ++m) {
+        if (cell.count == 0) {
+          cell.min[m] = metric_values[m];
+          cell.max[m] = metric_values[m];
+        } else {
+          cell.min[m] = std::min(cell.min[m], metric_values[m]);
+          cell.max[m] = std::max(cell.max[m], metric_values[m]);
+        }
+        cell.sum[m] += metric_values[m];
+      }
+      ++cell.count;
+    };
+    update(star_root_);
+    for (size_t k = 1; k <= star_dims_.size(); ++k) {
+      update(star_tree_[k - 1][EncodeIdTuple(ids, k)]);
+    }
+  }
+}
+
+Value Segment::GetValue(size_t row_index, int column_index) const {
+  const Column& column = columns_[static_cast<size_t>(column_index)];
+  return column.dictionary[column.IdAt(row_index)];
+}
+
+Row Segment::GetRow(size_t row_index) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    row.push_back(GetValue(row_index, static_cast<int>(c)));
+  }
+  return row;
+}
+
+int64_t Segment::MemoryBytes() const {
+  int64_t bytes = 128;
+  for (const Column& column : columns_) bytes += column.MemoryBytes();
+  size_t num_metrics = star_metrics_.size();
+  for (const auto& level : star_tree_) {
+    for (const auto& [key, cell] : level) {
+      bytes += static_cast<int64_t>(key.size()) + 48 +
+               static_cast<int64_t>(num_metrics * 3 * sizeof(double));
+    }
+  }
+  return bytes;
+}
+
+// --- Filtering -------------------------------------------------------------
+
+Result<std::pair<uint32_t, uint32_t>> Segment::PredicateIdRange(
+    const Column& column, const FilterPredicate& pred) const {
+  Value target = CoerceTo(column.type, pred.value);
+  auto lo_it = std::lower_bound(column.dictionary.begin(), column.dictionary.end(),
+                                target);
+  auto hi_it = std::upper_bound(column.dictionary.begin(), column.dictionary.end(),
+                                target);
+  uint32_t lo = static_cast<uint32_t>(lo_it - column.dictionary.begin());
+  uint32_t hi = static_cast<uint32_t>(hi_it - column.dictionary.begin());
+  uint32_t n = static_cast<uint32_t>(column.dictionary.size());
+  switch (pred.op) {
+    case FilterPredicate::Op::kEq: return std::make_pair(lo, hi);
+    case FilterPredicate::Op::kLt: return std::make_pair(0u, lo);
+    case FilterPredicate::Op::kLe: return std::make_pair(0u, hi);
+    case FilterPredicate::Op::kGt: return std::make_pair(hi, n);
+    case FilterPredicate::Op::kGe: return std::make_pair(lo, n);
+    case FilterPredicate::Op::kNe:
+      return Status::InvalidArgument("kNe has no contiguous id range");
+  }
+  return Status::Internal("bad predicate op");
+}
+
+Result<std::vector<uint32_t>> Segment::FilterRows(
+    const std::vector<FilterPredicate>& preds, bool* all, int64_t* rows_scanned) const {
+  *all = false;
+  std::vector<const FilterPredicate*> scan_preds;
+  std::vector<uint32_t> candidates;
+  bool have_candidates = false;
+
+  auto intersect = [&](std::vector<uint32_t> rows) {
+    if (!have_candidates) {
+      candidates = std::move(rows);
+      have_candidates = true;
+      return;
+    }
+    std::vector<uint32_t> merged;
+    std::set_intersection(candidates.begin(), candidates.end(), rows.begin(),
+                          rows.end(), std::back_inserter(merged));
+    candidates = std::move(merged);
+  };
+
+  for (const FilterPredicate& pred : preds) {
+    int idx = ColumnIndex(pred.column);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + pred.column);
+    const Column& column = columns_[static_cast<size_t>(idx)];
+    if (pred.op == FilterPredicate::Op::kNe) {
+      scan_preds.push_back(&pred);
+      continue;
+    }
+    Result<std::pair<uint32_t, uint32_t>> range = PredicateIdRange(column, pred);
+    if (!range.ok()) return range.status();
+    auto [lo, hi] = range.value();
+    if (lo >= hi) return std::vector<uint32_t>{};  // no dictionary match
+    if (idx == sorted_column_) {
+      // Sorted column: rows with ids in [lo,hi) are contiguous; binary
+      // search the row range.
+      size_t row_lo = 0, row_hi = num_rows_;
+      {
+        size_t a = 0, b = num_rows_;
+        while (a < b) {
+          size_t mid = (a + b) / 2;
+          if (column.IdAt(mid) < lo) a = mid + 1; else b = mid;
+        }
+        row_lo = a;
+        a = row_lo;
+        b = num_rows_;
+        while (a < b) {
+          size_t mid = (a + b) / 2;
+          if (column.IdAt(mid) < hi) a = mid + 1; else b = mid;
+        }
+        row_hi = a;
+      }
+      std::vector<uint32_t> rows;
+      rows.reserve(row_hi - row_lo);
+      for (size_t r = row_lo; r < row_hi; ++r) rows.push_back(static_cast<uint32_t>(r));
+      intersect(std::move(rows));
+    } else if (column.has_inverted) {
+      // Inverted index: union of the posting lists in the id range. This is
+      // also how range predicates are served ("range index").
+      std::vector<uint32_t> rows;
+      for (uint32_t id = lo; id < hi; ++id) {
+        rows.insert(rows.end(), column.inverted[id].begin(), column.inverted[id].end());
+      }
+      std::sort(rows.begin(), rows.end());
+      intersect(std::move(rows));
+    } else {
+      scan_preds.push_back(&pred);
+    }
+  }
+
+  auto matches_scan = [&](uint32_t r) {
+    for (const FilterPredicate* pred : scan_preds) {
+      int idx = ColumnIndex(pred->column);
+      const Column& column = columns_[static_cast<size_t>(idx)];
+      uint32_t id = column.IdAt(r);
+      if (pred->op == FilterPredicate::Op::kNe) {
+        Value target = CoerceTo(column.type, pred->value);
+        const Value& v = column.dictionary[id];
+        if (!(v < target) && !(target < v)) return false;  // equal -> excluded
+      } else {
+        Result<std::pair<uint32_t, uint32_t>> range = PredicateIdRange(column, *pred);
+        auto [lo, hi] = range.value();
+        if (id < lo || id >= hi) return false;
+      }
+    }
+    return true;
+  };
+
+  if (!have_candidates) {
+    if (scan_preds.empty()) {
+      *all = true;
+      return std::vector<uint32_t>{};
+    }
+    std::vector<uint32_t> rows;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      ++*rows_scanned;
+      if (matches_scan(static_cast<uint32_t>(r))) rows.push_back(static_cast<uint32_t>(r));
+    }
+    return rows;
+  }
+  if (scan_preds.empty()) return candidates;
+  std::vector<uint32_t> rows;
+  for (uint32_t r : candidates) {
+    ++*rows_scanned;
+    if (matches_scan(r)) rows.push_back(r);
+  }
+  return rows;
+}
+
+// --- Star-tree query path --------------------------------------------------
+
+bool Segment::TryStarTree(const OlapQuery& query, const std::vector<bool>* validity,
+                          OlapResult* result) const {
+  if (star_dims_.empty() || validity != nullptr) return false;
+  if (query.aggregations.empty()) return false;
+  // Which star dims does the query touch?
+  auto dim_position = [&](const std::string& name) {
+    int idx = ColumnIndex(name);
+    for (size_t d = 0; d < star_dims_.size(); ++d) {
+      if (star_dims_[d] == idx) return static_cast<int>(d);
+    }
+    return -1;
+  };
+  size_t max_prefix = 0;
+  std::vector<std::pair<int, Value>> eq_filters;  // dim position -> value
+  for (const FilterPredicate& pred : query.filters) {
+    if (pred.op != FilterPredicate::Op::kEq) return false;
+    int pos = dim_position(pred.column);
+    if (pos < 0) return false;
+    eq_filters.emplace_back(pos, pred.value);
+    max_prefix = std::max(max_prefix, static_cast<size_t>(pos) + 1);
+  }
+  std::vector<int> group_positions;
+  for (const std::string& g : query.group_by) {
+    int pos = dim_position(g);
+    if (pos < 0) return false;
+    group_positions.push_back(pos);
+    max_prefix = std::max(max_prefix, static_cast<size_t>(pos) + 1);
+  }
+  // Aggregations must be answerable from the cube metrics.
+  std::vector<int> metric_slot(query.aggregations.size(), -1);
+  for (size_t a = 0; a < query.aggregations.size(); ++a) {
+    const OlapAggregation& agg = query.aggregations[a];
+    if (agg.kind == OlapAggregation::Kind::kCount) continue;
+    int idx = ColumnIndex(agg.column);
+    bool found = false;
+    for (size_t m = 0; m < star_metrics_.size(); ++m) {
+      if (star_metrics_[m] == idx) {
+        metric_slot[a] = static_cast<int>(m);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+
+  // Resolve EQ filter values to dict ids; a miss means zero matching rows.
+  std::vector<std::pair<int, uint32_t>> id_filters;
+  for (const auto& [pos, value] : eq_filters) {
+    const Column& column = columns_[static_cast<size_t>(star_dims_[static_cast<size_t>(pos)])];
+    Value target = CoerceTo(column.type, value);
+    auto lo = std::lower_bound(column.dictionary.begin(), column.dictionary.end(), target);
+    auto hi = std::upper_bound(column.dictionary.begin(), column.dictionary.end(), target);
+    if (lo == hi) {
+      // No rows: produce empty/zero result.
+      result->rows.clear();
+      return true;
+    }
+    id_filters.emplace_back(pos, static_cast<uint32_t>(lo - column.dictionary.begin()));
+  }
+
+  // Aggregate cells from the chosen cube level.
+  struct GroupEntry {
+    Row key_values;
+    std::vector<AggAccumulator> accs;
+  };
+  std::map<std::string, GroupEntry> groups;
+  auto fold_cell = [&](const std::vector<uint32_t>& prefix_ids, const StarTreeCell& cell) {
+    std::string group_key;
+    Row key_values;
+    for (int pos : group_positions) {
+      uint32_t id = prefix_ids[static_cast<size_t>(pos)];
+      AppendU32(&group_key, id);
+      const Column& column =
+          columns_[static_cast<size_t>(star_dims_[static_cast<size_t>(pos)])];
+      key_values.push_back(column.dictionary[id]);
+    }
+    GroupEntry& entry = groups[group_key];
+    if (entry.accs.empty()) {
+      entry.key_values = std::move(key_values);
+      entry.accs.resize(query.aggregations.size());
+    }
+    for (size_t a = 0; a < query.aggregations.size(); ++a) {
+      AggAccumulator partial;
+      partial.count = cell.count;
+      int slot = metric_slot[a];
+      if (slot >= 0) {
+        partial.sum = cell.sum[static_cast<size_t>(slot)];
+        partial.min = cell.min[static_cast<size_t>(slot)];
+        partial.max = cell.max[static_cast<size_t>(slot)];
+      }
+      entry.accs[a].Merge(partial);
+    }
+  };
+
+  if (max_prefix == 0) {
+    fold_cell({}, star_root_);
+  } else {
+    const auto& level = star_tree_[max_prefix - 1];
+    std::vector<uint32_t> ids(max_prefix);
+    for (const auto& [key, cell] : level) {
+      for (size_t d = 0; d < max_prefix; ++d) {
+        std::memcpy(&ids[d], key.data() + d * 4, 4);
+      }
+      bool match = true;
+      for (const auto& [pos, id] : id_filters) {
+        if (ids[static_cast<size_t>(pos)] != id) {
+          match = false;
+          break;
+        }
+      }
+      if (match) fold_cell(ids, cell);
+    }
+  }
+
+  result->rows.clear();
+  for (auto& [key, entry] : groups) {
+    Row row = std::move(entry.key_values);
+    for (const AggAccumulator& acc : entry.accs) AppendAccumulator(&row, acc);
+    result->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+// --- Execute ----------------------------------------------------------------
+
+Result<OlapResult> Segment::Execute(const OlapQuery& query,
+                                    const std::vector<bool>* validity,
+                                    OlapQueryStats* stats) const {
+  OlapResult result;
+  ++stats->segments_scanned;
+  if (!query.aggregations.empty()) {
+    if (TryStarTree(query, validity, &result)) {
+      ++stats->star_tree_hits;
+      return result;
+    }
+    bool all = false;
+    Result<std::vector<uint32_t>> rows =
+        FilterRows(query.filters, &all, &stats->rows_scanned);
+    if (!rows.ok()) return rows.status();
+
+    std::vector<int> group_indices;
+    for (const std::string& g : query.group_by) {
+      int idx = ColumnIndex(g);
+      if (idx < 0) return Status::InvalidArgument("unknown group column: " + g);
+      group_indices.push_back(idx);
+    }
+    std::vector<int> agg_indices;
+    for (const OlapAggregation& agg : query.aggregations) {
+      int idx = agg.column.empty() ? -1 : ColumnIndex(agg.column);
+      if (!agg.column.empty() && idx < 0) {
+        return Status::InvalidArgument("unknown aggregate column: " + agg.column);
+      }
+      agg_indices.push_back(idx);
+    }
+
+    struct GroupEntry {
+      Row key_values;
+      std::vector<AggAccumulator> accs;
+    };
+    std::map<std::string, GroupEntry> groups;
+    auto process_row = [&](uint32_t r) {
+      if (validity != nullptr && !(*validity)[r]) return;
+      std::string group_key;
+      for (int idx : group_indices) {
+        AppendU32(&group_key, columns_[static_cast<size_t>(idx)].IdAt(r));
+      }
+      GroupEntry& entry = groups[group_key];
+      if (entry.accs.empty()) {
+        entry.accs.resize(query.aggregations.size());
+        for (int idx : group_indices) {
+          entry.key_values.push_back(GetValue(r, idx));
+        }
+      }
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        double v = agg_indices[a] >= 0 ? GetValue(r, agg_indices[a]).ToNumeric() : 0.0;
+        entry.accs[a].Add(v);
+      }
+    };
+    if (all) {
+      stats->rows_scanned += static_cast<int64_t>(num_rows_);
+      for (size_t r = 0; r < num_rows_; ++r) process_row(static_cast<uint32_t>(r));
+    } else {
+      stats->rows_scanned += static_cast<int64_t>(rows.value().size());
+      for (uint32_t r : rows.value()) process_row(r);
+    }
+    for (auto& [key, entry] : groups) {
+      Row row = std::move(entry.key_values);
+      for (const AggAccumulator& acc : entry.accs) AppendAccumulator(&row, acc);
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+
+  // Raw selection.
+  if (query.select_columns.empty()) {
+    return Status::InvalidArgument("query needs select columns or aggregations");
+  }
+  std::vector<int> select_indices;
+  for (const std::string& s : query.select_columns) {
+    int idx = ColumnIndex(s);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + s);
+    select_indices.push_back(idx);
+  }
+  bool all = false;
+  Result<std::vector<uint32_t>> rows =
+      FilterRows(query.filters, &all, &stats->rows_scanned);
+  if (!rows.ok()) return rows.status();
+  auto emit = [&](uint32_t r) {
+    if (validity != nullptr && !(*validity)[r]) return true;
+    Row row;
+    row.reserve(select_indices.size());
+    for (int idx : select_indices) row.push_back(GetValue(r, idx));
+    result.rows.push_back(std::move(row));
+    // Per-segment short-circuit only valid without ORDER BY.
+    return !(query.limit >= 0 && query.order_by.empty() &&
+             static_cast<int64_t>(result.rows.size()) >= query.limit);
+  };
+  if (all) {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      ++stats->rows_scanned;
+      if (!emit(static_cast<uint32_t>(r))) break;
+    }
+  } else {
+    for (uint32_t r : rows.value()) {
+      ++stats->rows_scanned;
+      if (!emit(r)) break;
+    }
+  }
+  return result;
+}
+
+// --- Serialization -----------------------------------------------------------
+
+std::string Segment::Serialize() const {
+  std::string out;
+  AppendString(&out, name_);
+  AppendU32(&out, static_cast<uint32_t>(schema_.NumFields()));
+  for (const FieldSpec& f : schema_.fields()) {
+    AppendString(&out, f.name);
+    out.push_back(static_cast<char>(f.type));
+  }
+  AppendU64(&out, num_rows_);
+  // Index config (indexes themselves are rebuilt on load).
+  out.push_back(config_.bit_packed_forward_index ? 1 : 0);
+  AppendU32(&out, static_cast<uint32_t>(config_.inverted_columns.size()));
+  for (const std::string& c : config_.inverted_columns) AppendString(&out, c);
+  AppendString(&out, config_.sorted_column);
+  AppendU32(&out, static_cast<uint32_t>(config_.star_tree_dimensions.size()));
+  for (const std::string& c : config_.star_tree_dimensions) AppendString(&out, c);
+  AppendU32(&out, static_cast<uint32_t>(config_.star_tree_metrics.size()));
+  for (const std::string& c : config_.star_tree_metrics) AppendString(&out, c);
+  // Columns: dictionary (as one encoded row) + forward index.
+  for (const Column& column : columns_) {
+    Row dict_row(column.dictionary.begin(), column.dictionary.end());
+    AppendString(&out, EncodeRow(dict_row));
+    if (!config_.bit_packed_forward_index) {
+      for (size_t r = 0; r < num_rows_; ++r) AppendU32(&out, column.plain[r]);
+    } else {
+      AppendU32(&out, static_cast<uint32_t>(column.packed.bits_per_value()));
+      AppendU64(&out, column.packed.words().size());
+      for (uint64_t w : column.packed.words()) AppendU64(&out, w);
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
+  auto corrupt = [] { return Status::Corruption("segment blob truncated"); };
+  size_t pos = 0;
+  std::string name;
+  if (!ReadString(blob, &pos, &name)) return corrupt();
+  uint32_t num_fields;
+  if (!ReadU32(blob, &pos, &num_fields)) return corrupt();
+  std::vector<FieldSpec> fields;
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    FieldSpec f;
+    if (!ReadString(blob, &pos, &f.name)) return corrupt();
+    if (pos >= blob.size()) return corrupt();
+    f.type = static_cast<ValueType>(blob[pos++]);
+    fields.push_back(std::move(f));
+  }
+  uint64_t num_rows;
+  if (!ReadU64(blob, &pos, &num_rows)) return corrupt();
+  SegmentIndexConfig config;
+  if (pos >= blob.size()) return corrupt();
+  config.bit_packed_forward_index = blob[pos++] != 0;
+  uint32_t n;
+  if (!ReadU32(blob, &pos, &n)) return corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string c;
+    if (!ReadString(blob, &pos, &c)) return corrupt();
+    config.inverted_columns.push_back(std::move(c));
+  }
+  if (!ReadString(blob, &pos, &config.sorted_column)) return corrupt();
+  if (!ReadU32(blob, &pos, &n)) return corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string c;
+    if (!ReadString(blob, &pos, &c)) return corrupt();
+    config.star_tree_dimensions.push_back(std::move(c));
+  }
+  if (!ReadU32(blob, &pos, &n)) return corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string c;
+    if (!ReadString(blob, &pos, &c)) return corrupt();
+    config.star_tree_metrics.push_back(std::move(c));
+  }
+
+  auto segment = std::shared_ptr<Segment>(new Segment());
+  segment->name_ = std::move(name);
+  segment->schema_ = RowSchema(fields);
+  segment->num_rows_ = num_rows;
+  segment->config_ = config;
+  segment->sorted_column_ = config.sorted_column.empty()
+                                ? -1
+                                : segment->schema_.FieldIndex(config.sorted_column);
+  segment->columns_.resize(num_fields);
+  for (uint32_t c = 0; c < num_fields; ++c) {
+    Column& column = segment->columns_[c];
+    column.type = fields[c].type;
+    std::string dict_blob;
+    if (!ReadString(blob, &pos, &dict_blob)) return corrupt();
+    Result<Row> dict = DecodeRow(dict_blob);
+    if (!dict.ok()) return dict.status();
+    column.dictionary = std::move(dict.value());
+    if (!config.bit_packed_forward_index) {
+      column.plain.resize(num_rows);
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        if (!ReadU32(blob, &pos, &column.plain[r])) return corrupt();
+      }
+    } else {
+      uint32_t bits;
+      uint64_t num_words;
+      if (!ReadU32(blob, &pos, &bits)) return corrupt();
+      if (!ReadU64(blob, &pos, &num_words)) return corrupt();
+      std::vector<uint32_t> ids(num_rows);
+      // Reconstruct via a temporary word array then unpack through a local
+      // BitPackedVector with the same geometry.
+      std::vector<uint64_t> words(num_words);
+      for (uint64_t w = 0; w < num_words; ++w) {
+        if (!ReadU64(blob, &pos, &words[w])) return corrupt();
+      }
+      // Rebuild by unpacking manually.
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        size_t bit = static_cast<size_t>(r) * bits;
+        size_t word = bit / 64;
+        int shift = static_cast<int>(bit % 64);
+        uint64_t v = words[word] >> shift;
+        if (shift + static_cast<int>(bits) > 64) v |= words[word + 1] << (64 - shift);
+        ids[r] = static_cast<uint32_t>(v & ((1ULL << bits) - 1));
+      }
+      uint32_t max_id = column.dictionary.empty()
+                            ? 0
+                            : static_cast<uint32_t>(column.dictionary.size() - 1);
+      column.packed = BitPackedVector(ids, max_id);
+    }
+  }
+  segment->BuildIndexes(config);
+  return segment;
+}
+
+int64_t Segment::DiskBytes() const { return static_cast<int64_t>(Serialize().size()); }
+
+}  // namespace uberrt::olap

@@ -1,0 +1,256 @@
+#include "olap/table.h"
+
+#include <algorithm>
+
+namespace uberrt::olap {
+
+namespace {
+
+void AppendGroupId(std::string* key, const Value& v) {
+  key->append(v.ToString());
+  key->push_back('\0');
+}
+
+}  // namespace
+
+bool EvalPredicate(const FilterPredicate& pred, const Value& v) {
+  const Value& target = pred.value;
+  bool less = v < target;
+  bool greater = target < v;
+  bool equal = !less && !greater;
+  switch (pred.op) {
+    case FilterPredicate::Op::kEq: return equal;
+    case FilterPredicate::Op::kNe: return !equal;
+    case FilterPredicate::Op::kLt: return less;
+    case FilterPredicate::Op::kLe: return less || equal;
+    case FilterPredicate::Op::kGt: return greater;
+    case FilterPredicate::Op::kGe: return greater || equal;
+  }
+  return false;
+}
+
+RealtimePartition::RealtimePartition(const TableConfig& config, int32_t partition_id)
+    : config_(config), partition_id_(partition_id) {
+  if (config_.upsert_enabled) {
+    primary_key_index_ = config_.schema.FieldIndex(config_.primary_key_column);
+  }
+  if (!config_.time_column.empty()) {
+    time_index_ = config_.schema.FieldIndex(config_.time_column);
+  }
+}
+
+Status RealtimePartition::Ingest(Row row) {
+  if (row.size() != config_.schema.NumFields()) {
+    return Status::InvalidArgument("row width mismatch for table " + config_.name);
+  }
+  if (config_.upsert_enabled) {
+    if (primary_key_index_ < 0) {
+      return Status::FailedPrecondition("upsert table lacks primary key column");
+    }
+    std::string key = row[static_cast<size_t>(primary_key_index_)].ToString();
+    auto it = upsert_locations_.find(key);
+    if (it != upsert_locations_.end()) {
+      // Invalidate the previous version of this key.
+      if (it->second.segment_index < 0) {
+        buffer_validity_[it->second.row_index] = false;
+      } else {
+        sealed_[static_cast<size_t>(it->second.segment_index)]
+            .validity[it->second.row_index] = false;
+      }
+    }
+    upsert_locations_[key] = {-1, static_cast<uint32_t>(buffer_.size())};
+  }
+  buffer_.push_back(std::move(row));
+  buffer_validity_.push_back(true);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Segment>> RealtimePartition::SealIfNeeded(bool force) {
+  if (buffer_.empty()) return std::shared_ptr<Segment>();
+  if (!force && static_cast<int64_t>(buffer_.size()) < config_.segment_rows_threshold) {
+    return std::shared_ptr<Segment>();
+  }
+  std::string segment_name = config_.name + "_p" + std::to_string(partition_id_) +
+                             "_s" + std::to_string(next_segment_seq_++);
+  SegmentIndexConfig index_config = config_.index_config;
+  if (config_.upsert_enabled) {
+    // Row order must stay stable so upsert locations remain valid.
+    index_config.sorted_column.clear();
+  }
+  Result<std::shared_ptr<Segment>> built =
+      Segment::Build(segment_name, config_.schema, buffer_, index_config);
+  if (!built.ok()) return built.status();
+
+  SealedSegment sealed;
+  sealed.segment = built.value();
+  if (config_.upsert_enabled) sealed.validity = buffer_validity_;
+  if (time_index_ >= 0) {
+    sealed.min_time = INT64_MAX;
+    sealed.max_time = INT64_MIN;
+    for (const Row& row : buffer_) {
+      TimestampMs t = static_cast<TimestampMs>(
+          row[static_cast<size_t>(time_index_)].ToNumeric());
+      sealed.min_time = std::min(sealed.min_time, t);
+      sealed.max_time = std::max(sealed.max_time, t);
+    }
+  }
+  int32_t segment_index = static_cast<int32_t>(sealed_.size());
+  sealed_.push_back(std::move(sealed));
+
+  // Remap buffered upsert locations into the sealed segment.
+  if (config_.upsert_enabled) {
+    for (auto& [key, loc] : upsert_locations_) {
+      if (loc.segment_index == -1) loc.segment_index = segment_index;
+    }
+  }
+  buffer_.clear();
+  buffer_validity_.clear();
+  return built.value();
+}
+
+int64_t RealtimePartition::NumRows() const {
+  int64_t rows = static_cast<int64_t>(buffer_.size());
+  for (const SealedSegment& s : sealed_) rows += s.segment->NumRows();
+  return rows;
+}
+
+int64_t RealtimePartition::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Row& row : buffer_) {
+    bytes += 16;
+    for (const Value& v : row) {
+      bytes += 16;
+      if (v.type() == ValueType::kString) bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  for (const SealedSegment& s : sealed_) bytes += s.segment->MemoryBytes();
+  return bytes;
+}
+
+Result<OlapResult> RealtimePartition::ExecuteOnBuffer(const OlapQuery& query,
+                                                      OlapQueryStats* stats) const {
+  OlapResult result;
+  std::vector<int> filter_indices;
+  for (const FilterPredicate& pred : query.filters) {
+    int idx = config_.schema.FieldIndex(pred.column);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + pred.column);
+    filter_indices.push_back(idx);
+  }
+  auto matches = [&](const Row& row) {
+    for (size_t i = 0; i < query.filters.size(); ++i) {
+      if (!EvalPredicate(query.filters[i],
+                         row[static_cast<size_t>(filter_indices[i])])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!query.aggregations.empty()) {
+    std::vector<int> group_indices;
+    for (const std::string& g : query.group_by) {
+      int idx = config_.schema.FieldIndex(g);
+      if (idx < 0) return Status::InvalidArgument("unknown group column: " + g);
+      group_indices.push_back(idx);
+    }
+    std::vector<int> agg_indices;
+    for (const OlapAggregation& agg : query.aggregations) {
+      agg_indices.push_back(agg.column.empty() ? -1
+                                               : config_.schema.FieldIndex(agg.column));
+    }
+    struct GroupEntry {
+      Row key_values;
+      std::vector<AggAccumulator> accs;
+    };
+    std::map<std::string, GroupEntry> groups;
+    for (size_t r = 0; r < buffer_.size(); ++r) {
+      if (!buffer_validity_[r]) continue;
+      ++stats->rows_scanned;
+      const Row& row = buffer_[r];
+      if (!matches(row)) continue;
+      std::string key;
+      for (int idx : group_indices) AppendGroupId(&key, row[static_cast<size_t>(idx)]);
+      GroupEntry& entry = groups[key];
+      if (entry.accs.empty()) {
+        entry.accs.resize(query.aggregations.size());
+        for (int idx : group_indices) {
+          entry.key_values.push_back(row[static_cast<size_t>(idx)]);
+        }
+      }
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        double v = agg_indices[a] >= 0
+                       ? row[static_cast<size_t>(agg_indices[a])].ToNumeric()
+                       : 0.0;
+        entry.accs[a].Add(v);
+      }
+    }
+    for (auto& [key, entry] : groups) {
+      Row row = std::move(entry.key_values);
+      for (const AggAccumulator& acc : entry.accs) AppendAccumulator(&row, acc);
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+
+  std::vector<int> select_indices;
+  for (const std::string& s : query.select_columns) {
+    int idx = config_.schema.FieldIndex(s);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + s);
+    select_indices.push_back(idx);
+  }
+  for (size_t r = 0; r < buffer_.size(); ++r) {
+    if (!buffer_validity_[r]) continue;
+    ++stats->rows_scanned;
+    const Row& row = buffer_[r];
+    if (!matches(row)) continue;
+    Row out;
+    for (int idx : select_indices) out.push_back(row[static_cast<size_t>(idx)]);
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+Result<OlapResult> RealtimePartition::Execute(const OlapQuery& query,
+                                              OlapQueryStats* stats) const {
+  // Derive a time window from predicates on the time column for segment
+  // pruning ("data is chunked by time boundary", Section 4.3).
+  TimestampMs query_min = INT64_MIN, query_max = INT64_MAX;
+  if (time_index_ >= 0) {
+    for (const FilterPredicate& pred : query.filters) {
+      if (pred.column != config_.time_column) continue;
+      TimestampMs v = static_cast<TimestampMs>(pred.value.ToNumeric());
+      switch (pred.op) {
+        case FilterPredicate::Op::kGe:
+        case FilterPredicate::Op::kGt:
+          query_min = std::max(query_min, v);
+          break;
+        case FilterPredicate::Op::kLe:
+        case FilterPredicate::Op::kLt:
+          query_max = std::min(query_max, v);
+          break;
+        case FilterPredicate::Op::kEq:
+          query_min = std::max(query_min, v);
+          query_max = std::min(query_max, v);
+          break;
+        case FilterPredicate::Op::kNe:
+          break;
+      }
+    }
+  }
+
+  OlapResult merged;
+  for (const SealedSegment& sealed : sealed_) {
+    if (sealed.max_time < query_min || sealed.min_time > query_max) continue;
+    const std::vector<bool>* validity =
+        sealed.validity.empty() ? nullptr : &sealed.validity;
+    Result<OlapResult> partial = sealed.segment->Execute(query, validity, stats);
+    if (!partial.ok()) return partial.status();
+    for (Row& row : partial.value().rows) merged.rows.push_back(std::move(row));
+  }
+  Result<OlapResult> from_buffer = ExecuteOnBuffer(query, stats);
+  if (!from_buffer.ok()) return from_buffer.status();
+  for (Row& row : from_buffer.value().rows) merged.rows.push_back(std::move(row));
+  return merged;
+}
+
+}  // namespace uberrt::olap

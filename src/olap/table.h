@@ -1,0 +1,104 @@
+#ifndef UBERRT_OLAP_TABLE_H_
+#define UBERRT_OLAP_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "olap/query.h"
+#include "olap/segment.h"
+
+namespace uberrt::olap {
+
+/// Table-level configuration.
+struct TableConfig {
+  std::string name;
+  RowSchema schema;
+  /// Time column for segment time-boundary pruning ("" = none).
+  std::string time_column;
+  SegmentIndexConfig index_config;
+  /// Rows buffered in the consuming segment before sealing.
+  int64_t segment_rows_threshold = 10'000;
+  /// Upsert (Section 4.3.1): rows with the same primary key replace earlier
+  /// ones. Requires the input stream partitioned by primary key and
+  /// disables the sorted column (row order must stay stable).
+  bool upsert_enabled = false;
+  std::string primary_key_column;
+};
+
+/// All data of one stream partition of a table, hosted by exactly one
+/// server — the shared-nothing unit of Pinot's upsert design
+/// (Section 4.3.1): because the input stream is partitioned by primary key,
+/// every record of a key lands here, so key -> location tracking is local.
+class RealtimePartition {
+ public:
+  RealtimePartition(const TableConfig& config, int32_t partition_id);
+
+  /// Appends one row to the consuming segment; with upsert enabled,
+  /// invalidates the key's previous location.
+  Status Ingest(Row row);
+
+  /// Seals the consuming buffer into an immutable segment (no-op when the
+  /// buffer is under the threshold unless `force`). Returns the new segment
+  /// or nullptr when nothing was sealed.
+  Result<std::shared_ptr<Segment>> SealIfNeeded(bool force = false);
+
+  /// Executes a query over all sealed segments + the consuming buffer.
+  /// Results are partial rows (see AggAccumulator).
+  Result<OlapResult> Execute(const OlapQuery& query, OlapQueryStats* stats) const;
+
+  int64_t NumRows() const;
+  /// Rows currently in the (unsealed) consuming buffer.
+  int64_t BufferedRows() const { return static_cast<int64_t>(buffer_.size()); }
+  int64_t segment_rows_threshold() const { return config_.segment_rows_threshold; }
+  int64_t NumSealedSegments() const { return static_cast<int64_t>(sealed_.size()); }
+  int64_t MemoryBytes() const;
+  int32_t partition_id() const { return partition_id_; }
+
+  /// Sealed segments with their validity vectors (for replication and
+  /// recovery).
+  struct SealedSegment {
+    std::shared_ptr<Segment> segment;
+    std::vector<bool> validity;  ///< upsert tables only; empty = all valid
+    TimestampMs min_time = INT64_MIN;
+    TimestampMs max_time = INT64_MAX;
+  };
+  const std::vector<SealedSegment>& sealed() const { return sealed_; }
+
+  /// Drops all sealed segments (simulated server loss) keeping the
+  /// consuming buffer; recovery re-adds them via RestoreSegment.
+  void DropSealedSegments() { sealed_.clear(); }
+  void RestoreSegment(SealedSegment segment) { sealed_.push_back(std::move(segment)); }
+
+ private:
+  struct UpsertLocation {
+    int32_t segment_index = -1;  ///< -1 = consuming buffer
+    uint32_t row_index = 0;
+  };
+
+  Result<OlapResult> ExecuteOnBuffer(const OlapQuery& query,
+                                     OlapQueryStats* stats) const;
+
+  TableConfig config_;
+  int32_t partition_id_;
+  int primary_key_index_ = -1;
+  int time_index_ = -1;
+
+  std::vector<Row> buffer_;
+  std::vector<bool> buffer_validity_;
+  std::vector<SealedSegment> sealed_;
+  std::map<std::string, UpsertLocation> upsert_locations_;
+  int64_t next_segment_seq_ = 0;
+};
+
+/// Evaluates one predicate against a concrete value (used by the consuming
+/// buffer's row-at-a-time path and by the SQL layer's residual filters).
+bool EvalPredicate(const FilterPredicate& pred, const Value& v);
+
+}  // namespace uberrt::olap
+
+#endif  // UBERRT_OLAP_TABLE_H_

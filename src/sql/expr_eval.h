@@ -1,0 +1,57 @@
+#ifndef UBERRT_SQL_EXPR_EVAL_H_
+#define UBERRT_SQL_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace uberrt::sql {
+
+/// Resolves [qualifier.]column names to positions in a (possibly composite,
+/// post-join) row. Unqualified lookups match any qualifier as long as the
+/// name is unambiguous.
+class RowBinding {
+ public:
+  RowBinding() = default;
+  /// Binding for a single unqualified schema.
+  explicit RowBinding(const RowSchema& schema) { Add("", schema, 0); }
+
+  /// Adds `schema`'s fields under `qualifier`, mapped to row positions
+  /// starting at `offset`.
+  void Add(const std::string& qualifier, const RowSchema& schema, size_t offset);
+
+  /// Appends another binding's entries shifted by `offset` (join output).
+  void Merge(const RowBinding& other, size_t offset);
+
+  /// Position of [qualifier.]name, or InvalidArgument (unknown/ambiguous).
+  Result<int> Resolve(const std::string& qualifier, const std::string& name) const;
+
+  size_t NumFields() const { return total_fields_; }
+
+ private:
+  struct Entry {
+    std::string qualifier;
+    std::string name;
+    int index = 0;
+  };
+  std::vector<Entry> entries_;
+  size_t total_fields_ = 0;
+};
+
+/// SQL truthiness: bool as-is; numerics non-zero; null false; strings
+/// non-empty.
+bool Truthy(const Value& v);
+
+/// Evaluates a scalar expression (no aggregates) against one row.
+Result<Value> EvalExpr(const Expr& expr, const Row& row, const RowBinding& binding);
+
+/// Display name for a select item: alias, else column name, else rendered
+/// expression.
+std::string SelectItemName(const SelectItem& item);
+
+}  // namespace uberrt::sql
+
+#endif  // UBERRT_SQL_EXPR_EVAL_H_

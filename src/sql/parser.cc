@@ -1,0 +1,493 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace uberrt::sql {
+
+namespace {
+
+enum class TokenType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< identifiers upper-cased copy in `upper`
+  std::string upper;  ///< for keyword comparison
+  bool is_double = false;
+};
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const std::string& s = input_;
+    while (i < s.size()) {
+      char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) {
+          ++i;
+        }
+        Token t;
+        t.type = TokenType::kIdent;
+        t.text = s.substr(start, i - start);
+        t.upper = ToUpper(t.text);
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        bool is_double = false;
+        while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                                s[i] == '.')) {
+          if (s[i] == '.') is_double = true;
+          ++i;
+        }
+        Token t;
+        t.type = TokenType::kNumber;
+        t.text = s.substr(start, i - start);
+        t.is_double = is_double;
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (c == '\'') {
+        ++i;
+        std::string value;
+        while (i < s.size() && s[i] != '\'') value.push_back(s[i++]);
+        if (i >= s.size()) return Status::InvalidArgument("unterminated string literal");
+        ++i;  // closing quote
+        Token t;
+        t.type = TokenType::kString;
+        t.text = std::move(value);
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      // Multi-char symbols first.
+      static const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+      bool matched = false;
+      for (const char* sym : kTwoChar) {
+        if (s.compare(i, 2, sym) == 0) {
+          Token t;
+          t.type = TokenType::kSymbol;
+          t.text = sym;
+          tokens.push_back(std::move(t));
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      if (std::string("=<>+-*/(),.;").find(c) != std::string::npos) {
+        Token t;
+        t.type = TokenType::kSymbol;
+        t.text = std::string(1, c);
+        tokens.push_back(std::move(t));
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(Token{});  // kEnd
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> Parse() {
+    Result<std::unique_ptr<SelectStmt>> stmt = ParseSelectStmt();
+    if (!stmt.ok()) return stmt;
+    ConsumeSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement: '" +
+                                     Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  Token Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kIdent && Peek().upper == kw;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekSymbol(const std::string& sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeSymbol(const std::string& sym) {
+    if (!PeekSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(const std::string& what) {
+    return Status::InvalidArgument("expected " + what + " near '" + Peek().text + "'");
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    if (!ConsumeKeyword("SELECT")) return Expect("SELECT");
+    auto stmt = std::make_unique<SelectStmt>();
+    // Select items.
+    while (true) {
+      SelectItem item;
+      if (PeekSymbol("*")) {
+        Next();
+        item.expr = Expr::Star();
+      } else {
+        Result<std::unique_ptr<Expr>> expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        item.expr = std::move(expr.value());
+      }
+      if (ConsumeKeyword("AS")) {
+        if (Peek().type != TokenType::kIdent) return Expect("alias");
+        item.alias = Next().text;
+      } else if (Peek().type == TokenType::kIdent && !IsClauseKeyword(Peek().upper)) {
+        item.alias = Next().text;
+      }
+      stmt->items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    // FROM.
+    if (!ConsumeKeyword("FROM")) return Expect("FROM");
+    Result<std::unique_ptr<TableRef>> from = ParseTableRef();
+    if (!from.ok()) return from.status();
+    stmt->from = std::move(from.value());
+    // WHERE.
+    if (ConsumeKeyword("WHERE")) {
+      Result<std::unique_ptr<Expr>> where = ParseExpr();
+      if (!where.ok()) return where.status();
+      stmt->where = std::move(where.value());
+    }
+    // GROUP BY.
+    if (ConsumeKeyword("GROUP")) {
+      if (!ConsumeKeyword("BY")) return Expect("BY");
+      while (true) {
+        if (PeekKeyword("TUMBLE") || PeekKeyword("HOP") || PeekKeyword("SESSION")) {
+          Result<WindowClause> window = ParseWindow();
+          if (!window.ok()) return window.status();
+          stmt->window = std::move(window.value());
+        } else {
+          Result<std::unique_ptr<Expr>> key = ParseExpr();
+          if (!key.ok()) return key.status();
+          stmt->group_by.push_back(std::move(key.value()));
+        }
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    // HAVING.
+    if (ConsumeKeyword("HAVING")) {
+      Result<std::unique_ptr<Expr>> having = ParseExpr();
+      if (!having.ok()) return having.status();
+      stmt->having = std::move(having.value());
+    }
+    // ORDER BY.
+    if (ConsumeKeyword("ORDER")) {
+      if (!ConsumeKeyword("BY")) return Expect("BY");
+      while (true) {
+        OrderItem item;
+        Result<std::unique_ptr<Expr>> expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        item.expr = std::move(expr.value());
+        if (ConsumeKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    // LIMIT.
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) return Expect("limit count");
+      stmt->limit = std::stoll(Next().text);
+    }
+    return stmt;
+  }
+
+  static bool IsClauseKeyword(const std::string& upper) {
+    return upper == "FROM" || upper == "WHERE" || upper == "GROUP" ||
+           upper == "HAVING" || upper == "ORDER" || upper == "LIMIT" ||
+           upper == "AS" || upper == "JOIN" || upper == "ON" || upper == "ASC" ||
+           upper == "DESC";
+  }
+
+  Result<std::unique_ptr<TableRef>> ParsePrimaryTable() {
+    auto ref = std::make_unique<TableRef>();
+    if (ConsumeSymbol("(")) {
+      Result<std::unique_ptr<SelectStmt>> sub = ParseSelectStmt();
+      if (!sub.ok()) return sub.status();
+      if (!ConsumeSymbol(")")) return Expect("')'");
+      ref->kind = TableRef::Kind::kSubquery;
+      ref->subquery = std::move(sub.value());
+    } else {
+      if (Peek().type != TokenType::kIdent) return Expect("table name");
+      ref->kind = TableRef::Kind::kNamed;
+      ref->name = Next().text;
+      while (ConsumeSymbol(".")) {
+        if (Peek().type != TokenType::kIdent) return Expect("identifier after '.'");
+        ref->name += "." + Next().text;
+      }
+    }
+    if (ConsumeKeyword("AS")) {
+      if (Peek().type != TokenType::kIdent) return Expect("alias");
+      ref->alias = Next().text;
+    } else if (Peek().type == TokenType::kIdent && !IsClauseKeyword(Peek().upper)) {
+      ref->alias = Next().text;
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTableRef() {
+    Result<std::unique_ptr<TableRef>> left = ParsePrimaryTable();
+    if (!left.ok()) return left;
+    std::unique_ptr<TableRef> current = std::move(left.value());
+    while (ConsumeKeyword("JOIN")) {
+      Result<std::unique_ptr<TableRef>> right = ParsePrimaryTable();
+      if (!right.ok()) return right;
+      if (!ConsumeKeyword("ON")) return Expect("ON");
+      Result<std::unique_ptr<Expr>> condition = ParseExpr();
+      if (!condition.ok()) return condition.status();
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRef::Kind::kJoin;
+      join->left = std::move(current);
+      join->right = std::move(right.value());
+      join->join_condition = std::move(condition.value());
+      current = std::move(join);
+    }
+    return current;
+  }
+
+  Result<int64_t> ParseInterval() {
+    if (!ConsumeKeyword("INTERVAL")) return Expect("INTERVAL");
+    if (Peek().type != TokenType::kString && Peek().type != TokenType::kNumber) {
+      return Expect("interval amount");
+    }
+    int64_t amount = std::stoll(Next().text);
+    if (Peek().type != TokenType::kIdent) return Expect("interval unit");
+    std::string unit = Next().upper;
+    if (unit == "SECOND" || unit == "SECONDS") return amount * 1000;
+    if (unit == "MINUTE" || unit == "MINUTES") return amount * 60'000;
+    if (unit == "HOUR" || unit == "HOURS") return amount * 3'600'000;
+    if (unit == "DAY" || unit == "DAYS") return amount * 86'400'000;
+    return Status::InvalidArgument("unknown interval unit: " + unit);
+  }
+
+  Result<WindowClause> ParseWindow() {
+    WindowClause window;
+    std::string fn = Next().upper;
+    if (fn == "TUMBLE") {
+      window.type = WindowClause::Type::kTumble;
+    } else if (fn == "HOP") {
+      window.type = WindowClause::Type::kHop;
+    } else {
+      window.type = WindowClause::Type::kSession;
+    }
+    if (!ConsumeSymbol("(")) return Expect("'('");
+    if (Peek().type != TokenType::kIdent) return Expect("time column");
+    window.time_column = Next().text;
+    if (!ConsumeSymbol(",")) return Expect("','");
+    Result<int64_t> first = ParseInterval();
+    if (!first.ok()) return first.status();
+    if (window.type == WindowClause::Type::kTumble) {
+      window.size_ms = first.value();
+    } else if (window.type == WindowClause::Type::kSession) {
+      window.gap_ms = first.value();
+    } else {
+      window.slide_ms = first.value();
+      if (!ConsumeSymbol(",")) return Expect("','");
+      Result<int64_t> size = ParseInterval();
+      if (!size.ok()) return size.status();
+      window.size_ms = size.value();
+    }
+    if (!ConsumeSymbol(")")) return Expect("')'");
+    return window;
+  }
+
+  // Expression grammar: or -> and -> not -> cmp -> add -> mul -> unary -> primary.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    Result<std::unique_ptr<Expr>> left = ParseAnd();
+    if (!left.ok()) return left;
+    std::unique_ptr<Expr> current = std::move(left.value());
+    while (ConsumeKeyword("OR")) {
+      Result<std::unique_ptr<Expr>> right = ParseAnd();
+      if (!right.ok()) return right;
+      current = Expr::Binary(Expr::Op::kOr, std::move(current), std::move(right.value()));
+    }
+    return current;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    Result<std::unique_ptr<Expr>> left = ParseNot();
+    if (!left.ok()) return left;
+    std::unique_ptr<Expr> current = std::move(left.value());
+    while (ConsumeKeyword("AND")) {
+      Result<std::unique_ptr<Expr>> right = ParseNot();
+      if (!right.ok()) return right;
+      current = Expr::Binary(Expr::Op::kAnd, std::move(current), std::move(right.value()));
+    }
+    return current;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      Result<std::unique_ptr<Expr>> operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return Expr::Unary(Expr::Op::kNot, std::move(operand.value()));
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    Result<std::unique_ptr<Expr>> left = ParseAdditive();
+    if (!left.ok()) return left;
+    struct { const char* sym; Expr::Op op; } kOps[] = {
+        {"<>", Expr::Op::kNe}, {"!=", Expr::Op::kNe}, {"<=", Expr::Op::kLe},
+        {">=", Expr::Op::kGe}, {"=", Expr::Op::kEq},  {"<", Expr::Op::kLt},
+        {">", Expr::Op::kGt},
+    };
+    for (const auto& candidate : kOps) {
+      if (PeekSymbol(candidate.sym)) {
+        Next();
+        Result<std::unique_ptr<Expr>> right = ParseAdditive();
+        if (!right.ok()) return right;
+        return Expr::Binary(candidate.op, std::move(left.value()),
+                            std::move(right.value()));
+      }
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    Result<std::unique_ptr<Expr>> left = ParseMultiplicative();
+    if (!left.ok()) return left;
+    std::unique_ptr<Expr> current = std::move(left.value());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      Expr::Op op = Next().text == "+" ? Expr::Op::kAdd : Expr::Op::kSub;
+      Result<std::unique_ptr<Expr>> right = ParseMultiplicative();
+      if (!right.ok()) return right;
+      current = Expr::Binary(op, std::move(current), std::move(right.value()));
+    }
+    return current;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    Result<std::unique_ptr<Expr>> left = ParseUnary();
+    if (!left.ok()) return left;
+    std::unique_ptr<Expr> current = std::move(left.value());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      Expr::Op op = Next().text == "*" ? Expr::Op::kMul : Expr::Op::kDiv;
+      Result<std::unique_ptr<Expr>> right = ParseUnary();
+      if (!right.ok()) return right;
+      current = Expr::Binary(op, std::move(current), std::move(right.value()));
+    }
+    return current;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      Result<std::unique_ptr<Expr>> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Expr::Unary(Expr::Op::kNeg, std::move(operand.value()));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& token = Peek();
+    if (token.type == TokenType::kNumber) {
+      Token t = Next();
+      if (t.is_double) return Expr::Literal(Value(std::stod(t.text)));
+      return Expr::Literal(Value(static_cast<int64_t>(std::stoll(t.text))));
+    }
+    if (token.type == TokenType::kString) {
+      return Expr::Literal(Value(Next().text));
+    }
+    if (ConsumeSymbol("(")) {
+      Result<std::unique_ptr<Expr>> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!ConsumeSymbol(")")) return Expect("')'");
+      return inner;
+    }
+    if (token.type == TokenType::kIdent) {
+      if (token.upper == "TRUE" || token.upper == "FALSE") {
+        return Expr::Literal(Value(Next().upper == "TRUE"));
+      }
+      if (token.upper == "NULL") {
+        Next();
+        return Expr::Literal(Value::Null());
+      }
+      Token name = Next();
+      // Function call?
+      if (ConsumeSymbol("(")) {
+        std::vector<std::unique_ptr<Expr>> args;
+        if (!PeekSymbol(")")) {
+          while (true) {
+            if (PeekSymbol("*")) {
+              Next();
+              args.push_back(Expr::Star());
+            } else {
+              Result<std::unique_ptr<Expr>> arg = ParseExpr();
+              if (!arg.ok()) return arg;
+              args.push_back(std::move(arg.value()));
+            }
+            if (!ConsumeSymbol(",")) break;
+          }
+        }
+        if (!ConsumeSymbol(")")) return Expect("')'");
+        return Expr::Call(name.text, std::move(args));
+      }
+      // Qualified column?
+      if (ConsumeSymbol(".")) {
+        if (Peek().type != TokenType::kIdent) return Expect("column after '.'");
+        return Expr::Column(name.text, Next().text);
+      }
+      return Expr::Column("", name.text);
+    }
+    return Expect("expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  Lexer lexer(sql);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.Parse();
+}
+
+}  // namespace uberrt::sql

@@ -1,0 +1,32 @@
+#ifndef UBERRT_SQL_PARSER_H_
+#define UBERRT_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace uberrt::sql {
+
+/// Parses one SELECT statement of the dialect shared by the FlinkSQL layer
+/// (Section 4.2.1) and the Presto-like interactive engine (Section 4.5):
+///
+///   SELECT expr [AS alias], ...
+///   FROM table | (subquery) [alias] [JOIN table [alias] ON cond ...]
+///   [WHERE cond]
+///   [GROUP BY col, ... [, TUMBLE(ts, INTERVAL 'n' UNIT)
+///                       | HOP(ts, INTERVAL.., INTERVAL..)
+///                       | SESSION(ts, INTERVAL..)]]
+///   [HAVING cond]
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+/// Aggregates: COUNT(*|col), SUM, MIN, MAX, AVG. Keywords are
+/// case-insensitive; string literals single-quoted; an optional trailing
+/// semicolon is accepted.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace uberrt::sql
+
+#endif  // UBERRT_SQL_PARSER_H_

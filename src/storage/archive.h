@@ -1,0 +1,59 @@
+#ifndef UBERRT_STORAGE_ARCHIVE_H_
+#define UBERRT_STORAGE_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/object_store.h"
+
+namespace uberrt::storage {
+
+/// Hive-style archived dataset on top of the object store (Section 4.4 of
+/// the paper: Kafka raw logs compacted into long-term tables that back
+/// Presto/Hive/Spark access and Kappa+ backfills, Section 7).
+///
+/// Data is organized as `archive/<table>/<partition>/<batch-seq>` where a
+/// partition is typically a day ("2020-10-01"). Each batch object is a
+/// concatenation of length-prefixed encoded rows.
+class ArchiveTable {
+ public:
+  /// The table writes/reads through `store`, which must outlive this object.
+  ArchiveTable(ObjectStore* store, std::string table_name, RowSchema schema);
+
+  const std::string& name() const { return name_; }
+  const RowSchema& schema() const { return schema_; }
+
+  /// Appends a batch of rows to the given partition as one new object.
+  Status AppendBatch(const std::string& partition, const std::vector<Row>& rows);
+
+  /// All partitions present, sorted (so date partitions come back in order).
+  std::vector<std::string> ListPartitions() const;
+
+  /// Reads every row of one partition, in append order.
+  Result<std::vector<Row>> ReadPartition(const std::string& partition) const;
+
+  /// Total rows across the given partitions (convenience for tests/benches).
+  Result<int64_t> CountRows(const std::vector<std::string>& partitions) const;
+
+ private:
+  std::string KeyPrefix() const { return "archive/" + name_ + "/"; }
+
+  ObjectStore* store_;
+  std::string name_;
+  RowSchema schema_;
+  int64_t next_batch_seq_ = 0;
+};
+
+/// Serializes rows into one batch blob (u32 row count, then per row a
+/// u32-length-prefixed EncodeRow payload).
+std::string EncodeRowBatch(const std::vector<Row>& rows);
+
+/// Inverse of EncodeRowBatch; Corruption on malformed input.
+Result<std::vector<Row>> DecodeRowBatch(const std::string& data);
+
+}  // namespace uberrt::storage
+
+#endif  // UBERRT_STORAGE_ARCHIVE_H_

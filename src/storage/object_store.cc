@@ -1,0 +1,85 @@
+#include "storage/object_store.h"
+
+namespace uberrt::storage {
+
+InMemoryObjectStore::InMemoryObjectStore(ObjectStoreOptions options, Clock* clock)
+    : options_(options), clock_(clock) {}
+
+Status InMemoryObjectStore::CheckAvailable(const char* op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) {
+    metrics_.GetCounter("storage.unavailable_errors")->Increment();
+    return Status::Unavailable(std::string("object store down during ") + op);
+  }
+  return Status::Ok();
+}
+
+Status InMemoryObjectStore::Put(const std::string& key, const std::string& data) {
+  UBERRT_RETURN_IF_ERROR(CheckAvailable("Put"));
+  if (options_.put_latency_ms > 0) clock_->SleepMs(options_.put_latency_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= static_cast<int64_t>(it->second.size());
+    it->second = data;
+  } else {
+    objects_.emplace(key, data);
+  }
+  total_bytes_ += static_cast<int64_t>(data.size());
+  metrics_.GetCounter("storage.puts")->Increment();
+  metrics_.GetCounter("storage.bytes_written")->Increment(static_cast<int64_t>(data.size()));
+  return Status::Ok();
+}
+
+Result<std::string> InMemoryObjectStore::Get(const std::string& key) const {
+  UBERRT_RETURN_IF_ERROR(CheckAvailable("Get"));
+  if (options_.get_latency_ms > 0) clock_->SleepMs(options_.get_latency_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  metrics_.GetCounter("storage.gets")->Increment();
+  return it->second;
+}
+
+Status InMemoryObjectStore::Delete(const std::string& key) {
+  UBERRT_RETURN_IF_ERROR(CheckAvailable("Delete"));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  total_bytes_ -= static_cast<int64_t>(it->second.size());
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+bool InMemoryObjectStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_ && objects_.count(key) > 0;
+}
+
+std::vector<std::string> InMemoryObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  if (!available_) return out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+int64_t InMemoryObjectStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+void InMemoryObjectStore::SetAvailable(bool available) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ = available;
+}
+
+bool InMemoryObjectStore::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+}  // namespace uberrt::storage

@@ -1,0 +1,319 @@
+#include "stream/broker.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace uberrt::stream {
+
+namespace {
+
+std::string GroupKey(const std::string& group, const std::string& topic) {
+  return group + '\0' + topic;
+}
+
+std::string OffsetKey(const std::string& group, const std::string& topic,
+                      int32_t partition) {
+  return group + '\0' + topic + '\0' + std::to_string(partition);
+}
+
+}  // namespace
+
+Broker::Broker(std::string name, BrokerOptions options, Clock* clock)
+    : name_(std::move(name)), options_(options), clock_(clock) {}
+
+Status Broker::CreateTopic(const std::string& topic, TopicConfig config) {
+  if (config.num_partitions <= 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) > 0) {
+    return Status::AlreadyExists("topic exists: " + topic);
+  }
+  auto t = std::make_unique<Topic>();
+  t->config = config;
+  t->partitions.reserve(static_cast<size_t>(config.num_partitions));
+  for (int32_t i = 0; i < config.num_partitions; ++i) {
+    t->partitions.push_back(std::make_unique<PartitionLog>());
+  }
+  topics_.emplace(topic, std::move(t));
+  return Status::Ok();
+}
+
+Status Broker::DeleteTopic(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.erase(topic) == 0) return Status::NotFound("no topic: " + topic);
+  return Status::Ok();
+}
+
+bool Broker::HasTopic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+Result<TopicConfig> Broker::GetTopicConfig(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  return it->second->config;
+}
+
+std::vector<std::string> Broker::ListTopics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, topic] : topics_) out.push_back(name);
+  return out;
+}
+
+Result<int32_t> Broker::NumPartitions(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  return static_cast<int32_t>(it->second->partitions.size());
+}
+
+Result<Broker::Topic*> Broker::FindTopic(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  return it->second.get();
+}
+
+void Broker::SpinCoordinationWork(AckMode ack) const {
+  if (!options_.coordination_model_enabled) return;
+  double iters = options_.coordination_base_iters +
+                 options_.coordination_quad_iters *
+                     static_cast<double>(options_.num_nodes) *
+                     static_cast<double>(options_.num_nodes);
+  if (ack == AckMode::kAll) iters *= 2.0;  // replica round trips
+  volatile double sink = 0.0;
+  for (int64_t i = 0; i < static_cast<int64_t>(iters); ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  (void)sink;
+}
+
+Result<ProduceResult> Broker::Produce(const std::string& topic, Message message,
+                                      AckMode ack) {
+  Topic* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) {
+      auto it = topics_.find(topic);
+      if (it != topics_.end() && !it->second->config.lossless) {
+        // Availability over consistency: non-lossless topics drop silently.
+        metrics_.GetCounter("broker." + name_ + ".dropped")->Increment();
+        ProduceResult dropped;
+        dropped.dropped = true;
+        return dropped;
+      }
+      if (ack == AckMode::kNone) {
+        ProduceResult lost;
+        lost.dropped = true;
+        return lost;  // fire-and-forget into a dead cluster
+      }
+      return Status::Unavailable("cluster " + name_ + " down");
+    }
+    Result<Topic*> found = FindTopic(topic);
+    if (!found.ok()) return found.status();
+    t = found.value();
+  }
+  SpinCoordinationWork(ack);
+  int32_t partition = message.partition;
+  int32_t num_partitions = static_cast<int32_t>(t->partitions.size());
+  if (partition < 0) {
+    if (!message.key.empty()) {
+      partition = static_cast<int32_t>(
+          KeyToPartition(message.key, static_cast<uint32_t>(num_partitions)));
+    } else {
+      partition = static_cast<int32_t>(t->round_robin.fetch_add(1) %
+                                       static_cast<uint64_t>(num_partitions));
+    }
+  }
+  if (partition >= num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  if (message.timestamp == 0) message.timestamp = clock_->NowMs();
+  message.partition = partition;
+  int64_t offset = t->partitions[static_cast<size_t>(partition)]->Append(std::move(message));
+  metrics_.GetCounter("broker." + name_ + ".produced")->Increment();
+  ProduceResult result;
+  result.partition = partition;
+  result.offset = offset;
+  return result;
+}
+
+Status Broker::Replicate(const std::string& topic, const Message& message) {
+  Topic* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) return Status::Unavailable("cluster " + name_ + " down");
+    Result<Topic*> found = FindTopic(topic);
+    if (!found.ok()) return found.status();
+    t = found.value();
+  }
+  if (message.partition < 0 ||
+      message.partition >= static_cast<int32_t>(t->partitions.size())) {
+    return Status::InvalidArgument("replicate: bad partition");
+  }
+  return t->partitions[static_cast<size_t>(message.partition)]->AppendWithOffset(message);
+}
+
+Result<std::vector<Message>> Broker::Fetch(const std::string& topic, int32_t partition,
+                                           int64_t offset, size_t max_messages) const {
+  const PartitionLog* log = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) return Status::Unavailable("cluster " + name_ + " down");
+    Result<Topic*> found = FindTopic(topic);
+    if (!found.ok()) return found.status();
+    Topic* t = found.value();
+    if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
+      return Status::InvalidArgument("partition out of range");
+    }
+    log = t->partitions[static_cast<size_t>(partition)].get();
+  }
+  return log->Read(offset, max_messages);
+}
+
+Result<int64_t> Broker::BeginOffset(const std::string& topic, int32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Topic*> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  Topic* t = found.value();
+  if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  return t->partitions[static_cast<size_t>(partition)]->BeginOffset();
+}
+
+Result<int64_t> Broker::EndOffset(const std::string& topic, int32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Topic*> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  Topic* t = found.value();
+  if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  return t->partitions[static_cast<size_t>(partition)]->EndOffset();
+}
+
+Status Broker::JoinGroup(const std::string& group, const std::string& topic,
+                         const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) == 0) return Status::NotFound("no topic: " + topic);
+  Group& g = groups_[GroupKey(group, topic)];
+  if (std::find(g.members.begin(), g.members.end(), member) != g.members.end()) {
+    return Status::AlreadyExists("member already in group");
+  }
+  g.members.push_back(member);
+  std::sort(g.members.begin(), g.members.end());
+  ++g.generation;
+  return Status::Ok();
+}
+
+Status Broker::LeaveGroup(const std::string& group, const std::string& topic,
+                          const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(GroupKey(group, topic));
+  if (it == groups_.end()) return Status::NotFound("no such group");
+  auto& members = it->second.members;
+  auto pos = std::find(members.begin(), members.end(), member);
+  if (pos == members.end()) return Status::NotFound("member not in group");
+  members.erase(pos);
+  ++it->second.generation;
+  return Status::Ok();
+}
+
+Result<std::vector<int32_t>> Broker::GetAssignment(const std::string& group,
+                                                   const std::string& topic,
+                                                   const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = groups_.find(GroupKey(group, topic));
+  if (git == groups_.end()) return Status::NotFound("no such group");
+  const auto& members = git->second.members;
+  auto pos = std::find(members.begin(), members.end(), member);
+  if (pos == members.end()) return Status::NotFound("member not in group");
+  auto tit = topics_.find(topic);
+  if (tit == topics_.end()) return Status::NotFound("no topic: " + topic);
+  int32_t num_partitions = static_cast<int32_t>(tit->second->partitions.size());
+  int32_t member_index = static_cast<int32_t>(pos - members.begin());
+  int32_t num_members = static_cast<int32_t>(members.size());
+  // Range assignment: partition p goes to member (p % num_members).
+  std::vector<int32_t> assigned;
+  for (int32_t p = 0; p < num_partitions; ++p) {
+    if (p % num_members == member_index) assigned.push_back(p);
+  }
+  return assigned;
+}
+
+int64_t Broker::GroupGeneration(const std::string& group, const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(GroupKey(group, topic));
+  return it == groups_.end() ? 0 : it->second.generation;
+}
+
+Status Broker::CommitOffset(const std::string& group, const std::string& topic,
+                            int32_t partition, int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_[OffsetKey(group, topic, partition)] = offset;
+  return Status::Ok();
+}
+
+Result<int64_t> Broker::CommittedOffset(const std::string& group,
+                                        const std::string& topic,
+                                        int32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = committed_.find(OffsetKey(group, topic, partition));
+  if (it == committed_.end()) return Status::NotFound("no committed offset");
+  return it->second;
+}
+
+Result<int64_t> Broker::ConsumerLag(const std::string& group,
+                                    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Topic*> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  Topic* t = found.value();
+  int64_t lag = 0;
+  for (size_t p = 0; p < t->partitions.size(); ++p) {
+    int64_t end = t->partitions[p]->EndOffset();
+    int64_t committed = t->partitions[p]->BeginOffset();
+    auto it = committed_.find(OffsetKey(group, topic, static_cast<int32_t>(p)));
+    if (it != committed_.end()) committed = std::max(committed, it->second);
+    lag += std::max<int64_t>(0, end - committed);
+  }
+  return lag;
+}
+
+int64_t Broker::ApplyRetention() {
+  std::vector<std::pair<Topic*, RetentionPolicy>> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, topic] : topics_) {
+      work.emplace_back(topic.get(), topic->config.retention);
+    }
+  }
+  int64_t dropped = 0;
+  TimestampMs now = clock_->NowMs();
+  for (auto& [topic, policy] : work) {
+    for (auto& partition : topic->partitions) {
+      dropped += partition->ApplyRetention(policy, now);
+    }
+  }
+  if (dropped > 0) {
+    metrics_.GetCounter("broker." + name_ + ".retention_dropped")->Increment(dropped);
+  }
+  return dropped;
+}
+
+void Broker::SetAvailable(bool available) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ = available;
+}
+
+bool Broker::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+}  // namespace uberrt::stream

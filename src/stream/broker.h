@@ -1,0 +1,139 @@
+#ifndef UBERRT_STREAM_BROKER_H_
+#define UBERRT_STREAM_BROKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "stream/log.h"
+#include "stream/message.h"
+#include "stream/message_bus.h"
+
+namespace uberrt::stream {
+
+/// Physical-cluster behaviour knobs.
+///
+/// `num_nodes` together with the coordination model reproduces the empirical
+/// observation of Section 4.1.1 that "the ideal cluster size is less than
+/// 150 nodes for optimum performance": every produce pays a coordination
+/// cost (controller metadata + replication bookkeeping) that grows
+/// superlinearly with cluster size, so aggregate cluster capacity
+/// (nodes x per-produce rate) peaks near 120-150 nodes and degrades beyond.
+/// With `coordination_model_enabled = false` (the default) no artificial
+/// work is done.
+struct BrokerOptions {
+  int32_t num_nodes = 3;
+  bool coordination_model_enabled = false;
+  /// Per-produce busy-work iterations: base + quad * num_nodes^2.
+  double coordination_base_iters = 30.0;
+  double coordination_quad_iters = 0.004;
+};
+
+/// One physical Kafka-like cluster: topics of partitioned append-only logs,
+/// producer acks, consumer-group coordination with committed offsets, and
+/// retention enforcement. Thread-safe.
+class Broker : public MessageBus {
+ public:
+  explicit Broker(std::string name, BrokerOptions options = {},
+                  Clock* clock = SystemClock::Instance());
+
+  const std::string& name() const { return name_; }
+  const BrokerOptions& options() const { return options_; }
+
+  // --- Topic management -------------------------------------------------
+
+  Status CreateTopic(const std::string& topic, TopicConfig config) override;
+  Status DeleteTopic(const std::string& topic);
+  bool HasTopic(const std::string& topic) const override;
+  Result<TopicConfig> GetTopicConfig(const std::string& topic) const;
+  std::vector<std::string> ListTopics() const;
+  Result<int32_t> NumPartitions(const std::string& topic) const override;
+
+  // --- Produce / fetch ---------------------------------------------------
+
+  /// Appends a message. The partition is `message.partition` when >= 0,
+  /// otherwise derived from the key hash, otherwise round-robin.
+  Result<ProduceResult> Produce(const std::string& topic, Message message,
+                                AckMode ack = AckMode::kLeader) override;
+
+  /// Appends preserving message.offset/partition (federated topic migration).
+  Status Replicate(const std::string& topic, const Message& message);
+
+  Result<std::vector<Message>> Fetch(const std::string& topic, int32_t partition,
+                                     int64_t offset, size_t max_messages) const override;
+
+  Result<int64_t> BeginOffset(const std::string& topic, int32_t partition) const override;
+  Result<int64_t> EndOffset(const std::string& topic, int32_t partition) const override;
+
+  // --- Consumer group coordination ---------------------------------------
+
+  /// Adds the member to the group for the topic and triggers a rebalance.
+  Status JoinGroup(const std::string& group, const std::string& topic,
+                   const std::string& member) override;
+  Status LeaveGroup(const std::string& group, const std::string& topic,
+                    const std::string& member) override;
+  /// Range assignment of the topic's partitions for this member. Bumps with
+  /// every membership change; poll loops re-read it each cycle.
+  Result<std::vector<int32_t>> GetAssignment(const std::string& group,
+                                             const std::string& topic,
+                                             const std::string& member) const override;
+  /// Rebalance generation for (group, topic); starts at 0.
+  int64_t GroupGeneration(const std::string& group, const std::string& topic) const override;
+
+  Status CommitOffset(const std::string& group, const std::string& topic,
+                      int32_t partition, int64_t offset) override;
+  /// NotFound until the first commit.
+  Result<int64_t> CommittedOffset(const std::string& group, const std::string& topic,
+                                  int32_t partition) const override;
+
+  /// Sum over partitions of (end offset - committed offset) for the group.
+  Result<int64_t> ConsumerLag(const std::string& group, const std::string& topic) const override;
+
+  // --- Operations ---------------------------------------------------------
+
+  /// Applies every topic's retention policy; returns total dropped messages.
+  int64_t ApplyRetention();
+
+  /// Simulates a whole-cluster outage (tolerated by federation, Section 4.1.1).
+  void SetAvailable(bool available);
+  bool available() const;
+
+  MetricsRegistry* metrics() { return &metrics_; }
+
+ private:
+  struct Topic {
+    TopicConfig config;
+    std::vector<std::unique_ptr<PartitionLog>> partitions;
+    std::atomic<uint64_t> round_robin{0};
+  };
+  struct Group {
+    std::vector<std::string> members;  // sorted
+    int64_t generation = 0;
+  };
+
+  Result<Topic*> FindTopic(const std::string& topic) const;
+  void SpinCoordinationWork(AckMode ack) const;
+
+  std::string name_;
+  BrokerOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  // keyed by group + '\0' + topic
+  std::map<std::string, Group> groups_;
+  std::map<std::string, int64_t> committed_;  // group\0topic\0partition -> offset
+  bool available_ = true;
+  mutable MetricsRegistry metrics_;
+};
+
+}  // namespace uberrt::stream
+
+#endif  // UBERRT_STREAM_BROKER_H_

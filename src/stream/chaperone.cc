@@ -1,0 +1,92 @@
+#include "stream/chaperone.h"
+
+#include <sstream>
+
+namespace uberrt::stream {
+
+namespace {
+
+std::string StageKey(const std::string& stage, const std::string& topic) {
+  return stage + '\0' + topic;
+}
+
+}  // namespace
+
+std::string AuditAlert::ToString() const {
+  std::ostringstream os;
+  os << (kind == Kind::kLoss ? "LOSS" : "DUPLICATION") << " topic=" << topic
+     << " window=" << window_start << " upstream=" << upstream_count
+     << " downstream=" << downstream_count;
+  return os.str();
+}
+
+void Chaperone::Record(const std::string& stage, const std::string& topic,
+                       const Message& message) {
+  auto it = message.headers.find(kHeaderUid);
+  RecordRaw(stage, topic, message.timestamp,
+            it == message.headers.end() ? std::string() : it->second);
+}
+
+void Chaperone::RecordRaw(const std::string& stage, const std::string& topic,
+                          TimestampMs event_time, const std::string& uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[StageKey(stage, topic)][WindowStart(event_time)];
+  ++bucket.count;
+  if (!uid.empty()) bucket.uids.insert(uid);
+}
+
+std::vector<WindowStats> Chaperone::GetStats(const std::string& stage,
+                                             const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WindowStats> out;
+  auto it = buckets_.find(StageKey(stage, topic));
+  if (it == buckets_.end()) return out;
+  for (const auto& [window, bucket] : it->second) {
+    out.push_back({window, bucket.count, static_cast<int64_t>(bucket.uids.size())});
+  }
+  return out;
+}
+
+int64_t Chaperone::TotalCount(const std::string& stage, const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(StageKey(stage, topic));
+  if (it == buckets_.end()) return 0;
+  int64_t total = 0;
+  for (const auto& [window, bucket] : it->second) total += bucket.count;
+  return total;
+}
+
+std::vector<AuditAlert> Chaperone::Compare(const std::string& upstream_stage,
+                                           const std::string& downstream_stage,
+                                           const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditAlert> alerts;
+  auto uit = buckets_.find(StageKey(upstream_stage, topic));
+  auto dit = buckets_.find(StageKey(downstream_stage, topic));
+  static const std::map<TimestampMs, Bucket> kEmpty;
+  const auto& up = uit == buckets_.end() ? kEmpty : uit->second;
+  const auto& down = dit == buckets_.end() ? kEmpty : dit->second;
+
+  // Union of windows.
+  std::set<TimestampMs> windows;
+  for (const auto& [w, b] : up) windows.insert(w);
+  for (const auto& [w, b] : down) windows.insert(w);
+
+  for (TimestampMs w : windows) {
+    auto ub = up.find(w);
+    auto db = down.find(w);
+    int64_t up_unique = ub == up.end() ? 0 : static_cast<int64_t>(ub->second.uids.size());
+    int64_t down_count = db == down.end() ? 0 : db->second.count;
+    int64_t down_unique =
+        db == down.end() ? 0 : static_cast<int64_t>(db->second.uids.size());
+    if (down_unique < up_unique) {
+      alerts.push_back({AuditAlert::Kind::kLoss, topic, w, up_unique, down_unique});
+    }
+    if (down_count > down_unique) {
+      alerts.push_back({AuditAlert::Kind::kDuplication, topic, w, down_unique, down_count});
+    }
+  }
+  return alerts;
+}
+
+}  // namespace uberrt::stream

@@ -1,0 +1,88 @@
+#ifndef UBERRT_STREAM_CHAPERONE_H_
+#define UBERRT_STREAM_CHAPERONE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "stream/message.h"
+
+namespace uberrt::stream {
+
+/// Audit statistics for one tumbling window at one pipeline stage.
+struct WindowStats {
+  TimestampMs window_start = 0;
+  int64_t count = 0;   ///< messages observed
+  int64_t unique = 0;  ///< distinct uids observed (duplication = count - unique)
+};
+
+/// A detected mismatch between two stages for one window.
+struct AuditAlert {
+  enum class Kind { kLoss, kDuplication };
+  Kind kind = Kind::kLoss;
+  std::string topic;
+  TimestampMs window_start = 0;
+  int64_t upstream_count = 0;
+  int64_t downstream_count = 0;
+
+  std::string ToString() const;
+};
+
+/// End-to-end auditing service modeled on Uber's Chaperone
+/// (Section 4.1.4): every stage of a pipeline (producer, regional Kafka,
+/// uReplicator output, aggregate Kafka, Flink input, ...) reports each
+/// message it sees; Chaperone buckets the reports into tumbling windows by
+/// the message's application timestamp, counts total and unique messages
+/// per (stage, topic, window), and raises alerts where adjacent stages
+/// disagree — detecting both loss and duplication.
+class Chaperone {
+ public:
+  explicit Chaperone(int64_t window_size_ms = 1000) : window_size_ms_(window_size_ms) {}
+
+  /// Reports one message observation at a stage. Uses the message's `uid`
+  /// header for duplicate detection (messages without one are only counted).
+  void Record(const std::string& stage, const std::string& topic, const Message& message);
+
+  /// Convenience for synthetic tests.
+  void RecordRaw(const std::string& stage, const std::string& topic,
+                 TimestampMs event_time, const std::string& uid);
+
+  /// Per-window statistics for a stage/topic, ordered by window start.
+  std::vector<WindowStats> GetStats(const std::string& stage,
+                                    const std::string& topic) const;
+
+  /// Total messages observed at a stage/topic.
+  int64_t TotalCount(const std::string& stage, const std::string& topic) const;
+
+  /// Compares an upstream stage against a downstream stage for one topic and
+  /// returns an alert per window where they disagree:
+  ///  - downstream unique count < upstream unique count -> loss
+  ///  - downstream count > downstream unique            -> duplication
+  std::vector<AuditAlert> Compare(const std::string& upstream_stage,
+                                  const std::string& downstream_stage,
+                                  const std::string& topic) const;
+
+ private:
+  struct Bucket {
+    int64_t count = 0;
+    std::set<std::string> uids;
+  };
+
+  TimestampMs WindowStart(TimestampMs t) const {
+    return t - (t % window_size_ms_ + window_size_ms_) % window_size_ms_;
+  }
+
+  int64_t window_size_ms_;
+  mutable std::mutex mu_;
+  // (stage \0 topic) -> window start -> bucket
+  std::map<std::string, std::map<TimestampMs, Bucket>> buckets_;
+};
+
+}  // namespace uberrt::stream
+
+#endif  // UBERRT_STREAM_CHAPERONE_H_

@@ -1,0 +1,115 @@
+#include "stream/consumer_proxy.h"
+
+#include "common/clock.h"
+
+namespace uberrt::stream {
+
+ConsumerProxy::ConsumerProxy(MessageBus* bus, std::string topic, std::string group,
+                             Endpoint endpoint, ConsumerProxyOptions options)
+    : bus_(bus),
+      topic_(std::move(topic)),
+      group_(std::move(group)),
+      endpoint_(std::move(endpoint)),
+      options_(options),
+      dlq_(bus, DlqOptions{options.max_retries}) {}
+
+ConsumerProxy::~ConsumerProxy() { Stop(); }
+
+Status ConsumerProxy::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  UBERRT_RETURN_IF_ERROR(dlq_.EnsureTopics(topic_));
+  consumer_ = std::make_unique<Consumer>(bus_, group_, topic_, group_ + "-proxy");
+  UBERRT_RETURN_IF_ERROR(consumer_->Subscribe());
+  queue_ = std::make_unique<BoundedQueue<Message>>(options_.queue_capacity);
+  running_.store(true);
+  for (int32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  poller_ = std::thread([this] { PollLoop(); });
+  return Status::Ok();
+}
+
+void ConsumerProxy::Stop() {
+  if (!running_.exchange(false)) return;
+  if (poller_.joinable()) poller_.join();
+  queue_->Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (consumer_) {
+    consumer_->Commit().ok();
+    consumer_->Close().ok();
+    consumer_.reset();
+  }
+}
+
+void ConsumerProxy::PollLoop() {
+  // The proxy consumes both the main topic and its retry topic: failed
+  // dispatches loop through the retry topic until their budget is spent.
+  Consumer retry_consumer(bus_, group_, DlqManager::RetryTopic(topic_),
+                          group_ + "-proxy-retry");
+  bool retry_subscribed = retry_consumer.Subscribe().ok();
+  while (running_.load()) {
+    bool idle = true;
+    for (Consumer* c : {consumer_.get(), retry_subscribed ? &retry_consumer : nullptr}) {
+      if (c == nullptr) continue;
+      Result<std::vector<Message>> batch = c->Poll(options_.poll_batch);
+      if (!batch.ok()) continue;  // transient (e.g. cluster failover)
+      for (Message& m : batch.value()) {
+        in_flight_.fetch_add(1);
+        if (!queue_->Push(std::move(m))) {
+          in_flight_.fetch_sub(1);
+          return;  // queue closed
+        }
+        idle = false;
+      }
+    }
+    if (idle) {
+      // Caught up: safe point to record progress (at-least-once overall).
+      if (in_flight_.load() == 0) {
+        consumer_->Commit().ok();
+        if (retry_subscribed) retry_consumer.Commit().ok();
+      }
+      SystemClock::Instance()->SleepMs(1);
+    }
+  }
+  if (retry_subscribed) retry_consumer.Close().ok();
+}
+
+void ConsumerProxy::WorkerLoop() {
+  while (true) {
+    std::optional<Message> message = queue_->Pop();
+    if (!message.has_value()) return;  // closed and drained
+    dispatched_.fetch_add(1);
+    Status result = endpoint_(*message);
+    if (result.ok()) {
+      succeeded_.fetch_add(1);
+    } else {
+      if (DlqManager::RetryCount(*message) >= options_.max_retries) {
+        dead_lettered_.fetch_add(1);
+      } else {
+        retried_.fetch_add(1);
+      }
+      dlq_.HandleFailure(topic_, std::move(*message)).ok();
+    }
+    in_flight_.fetch_sub(1);
+  }
+}
+
+Status ConsumerProxy::WaitUntilCaughtUp(int64_t poll_interval_ms) {
+  if (!running_.load()) return Status::FailedPrecondition("proxy not running");
+  while (true) {
+    Result<int64_t> main_lag = bus_->ConsumerLag(group_, topic_);
+    Result<int64_t> retry_lag = bus_->ConsumerLag(group_, DlqManager::RetryTopic(topic_));
+    if (!main_lag.ok()) return main_lag.status();
+    if (!retry_lag.ok()) return retry_lag.status();
+    if (main_lag.value() == 0 && retry_lag.value() == 0 && in_flight_.load() == 0 &&
+        queue_->Size() == 0) {
+      return Status::Ok();
+    }
+    SystemClock::Instance()->SleepMs(poll_interval_ms);
+  }
+}
+
+}  // namespace uberrt::stream

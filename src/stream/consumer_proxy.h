@@ -1,0 +1,98 @@
+#ifndef UBERRT_STREAM_CONSUMER_PROXY_H_
+#define UBERRT_STREAM_CONSUMER_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "stream/consumer.h"
+#include "stream/dlq.h"
+#include "stream/message_bus.h"
+
+namespace uberrt::stream {
+
+/// The user-registered service endpoint the proxy dispatches to — the stand-
+/// in for the gRPC endpoint of Figure 4. Must be thread-safe; the proxy
+/// invokes it concurrently from its worker pool.
+using Endpoint = std::function<Status(const Message&)>;
+
+/// Kafka Consumer Proxy (Section 4.1.3, Figure 4).
+///
+/// Encapsulates the full consumer complexity behind a thin push interface:
+/// the proxy polls Kafka on the application's behalf and *pushes* messages
+/// to the registered endpoint from a worker pool whose size is independent
+/// of the topic's partition count — lifting Kafka's
+/// consumers-per-group <= partitions parallelism cap for slow consumers.
+/// Failed dispatches are retried and finally parked in the DLQ, so poison
+/// messages never clog live traffic.
+struct ConsumerProxyOptions {
+    /// Concurrent dispatch workers; may exceed the partition count, which is
+    /// the whole point of push-based dispatch for slow consumers.
+    int32_t num_workers = 8;
+    /// In-place redelivery attempts before a message goes to the DLQ.
+    int32_t max_retries = 3;
+    size_t poll_batch = 256;
+    /// Pending dispatch buffer (bounded: the proxy itself applies
+    /// backpressure to its poll loop).
+    size_t queue_capacity = 1024;
+};
+
+class ConsumerProxy {
+ public:
+  ConsumerProxy(MessageBus* bus, std::string topic, std::string group,
+                Endpoint endpoint, ConsumerProxyOptions options = ConsumerProxyOptions());
+  ~ConsumerProxy();
+
+  ConsumerProxy(const ConsumerProxy&) = delete;
+  ConsumerProxy& operator=(const ConsumerProxy&) = delete;
+
+  /// Creates side topics, subscribes and starts the poller + worker pool.
+  Status Start();
+
+  /// Drains in-flight work, commits progress and stops all threads.
+  void Stop();
+
+  /// Blocks until every message produced so far has been dispatched
+  /// (successfully or to the DLQ). Intended for tests and benches.
+  Status WaitUntilCaughtUp(int64_t poll_interval_ms = 1);
+
+  int64_t dispatched() const { return dispatched_.load(); }
+  int64_t succeeded() const { return succeeded_.load(); }
+  int64_t retried() const { return retried_.load(); }
+  int64_t dead_lettered() const { return dead_lettered_.load(); }
+
+  DlqManager* dlq() { return &dlq_; }
+
+ private:
+  void PollLoop();
+  void WorkerLoop();
+
+  MessageBus* bus_;
+  std::string topic_;
+  std::string group_;
+  Endpoint endpoint_;
+  ConsumerProxyOptions options_;
+  DlqManager dlq_;
+
+  std::unique_ptr<Consumer> consumer_;
+  std::unique_ptr<BoundedQueue<Message>> queue_;
+  std::vector<std::thread> workers_;
+  std::thread poller_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> dispatched_{0};
+  std::atomic<int64_t> succeeded_{0};
+  std::atomic<int64_t> retried_{0};
+  std::atomic<int64_t> dead_lettered_{0};
+};
+
+}  // namespace uberrt::stream
+
+#endif  // UBERRT_STREAM_CONSUMER_PROXY_H_

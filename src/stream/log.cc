@@ -1,0 +1,86 @@
+#include "stream/log.h"
+
+namespace uberrt::stream {
+
+int64_t PartitionLog::Append(Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t offset = begin_offset_ + static_cast<int64_t>(messages_.size());
+  message.offset = offset;
+  bytes_ += static_cast<int64_t>(message.ByteSize());
+  messages_.push_back(std::move(message));
+  return offset;
+}
+
+Status PartitionLog::AppendWithOffset(Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t end = begin_offset_ + static_cast<int64_t>(messages_.size());
+  if (message.offset != end) {
+    return Status::InvalidArgument("offset gap: expected " + std::to_string(end) +
+                                   " got " + std::to_string(message.offset));
+  }
+  bytes_ += static_cast<int64_t>(message.ByteSize());
+  messages_.push_back(std::move(message));
+  return Status::Ok();
+}
+
+Result<std::vector<Message>> PartitionLog::Read(int64_t offset,
+                                                size_t max_messages) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t end = begin_offset_ + static_cast<int64_t>(messages_.size());
+  if (offset < begin_offset_) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " below begin offset " + std::to_string(begin_offset_));
+  }
+  if (offset > end) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " beyond end offset " + std::to_string(end));
+  }
+  std::vector<Message> out;
+  size_t start = static_cast<size_t>(offset - begin_offset_);
+  size_t count = std::min(max_messages, messages_.size() - start);
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(messages_[start + i]);
+  return out;
+}
+
+int64_t PartitionLog::BeginOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return begin_offset_;
+}
+
+int64_t PartitionLog::EndOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return begin_offset_ + static_cast<int64_t>(messages_.size());
+}
+
+int64_t PartitionLog::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(messages_.size());
+}
+
+int64_t PartitionLog::Bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t PartitionLog::ApplyRetention(const RetentionPolicy& policy, TimestampMs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  auto drop_front = [&] {
+    bytes_ -= static_cast<int64_t>(messages_.front().ByteSize());
+    messages_.pop_front();
+    ++begin_offset_;
+    ++dropped;
+  };
+  if (policy.max_age_ms > 0) {
+    while (!messages_.empty() && messages_.front().timestamp < now - policy.max_age_ms) {
+      drop_front();
+    }
+  }
+  if (policy.max_bytes > 0) {
+    while (!messages_.empty() && bytes_ > policy.max_bytes) drop_front();
+  }
+  return dropped;
+}
+
+}  // namespace uberrt::stream

@@ -1,0 +1,44 @@
+#ifndef UBERRT_STREAM_MESSAGE_H_
+#define UBERRT_STREAM_MESSAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+
+namespace uberrt::stream {
+
+/// One event in a topic partition.
+///
+/// `headers` carries the audit metadata the paper describes in Section 9.4
+/// (unique identifier, application timestamp, service name, tier) that
+/// Chaperone uses to track loss and duplication end to end.
+struct Message {
+  std::string key;
+  std::string value;
+  TimestampMs timestamp = 0;  ///< application/event timestamp
+  std::map<std::string, std::string> headers;
+
+  // Assigned by the broker at append time.
+  int64_t offset = -1;
+  int32_t partition = -1;
+
+  /// Approximate wire size, used for retention-by-bytes and throughput
+  /// accounting.
+  size_t ByteSize() const {
+    size_t n = key.size() + value.size() + 24;
+    for (const auto& [k, v] : headers) n += k.size() + v.size();
+    return n;
+  }
+};
+
+/// Standard header keys for audit metadata (Section 9.4).
+inline constexpr char kHeaderUid[] = "uid";
+inline constexpr char kHeaderService[] = "service";
+inline constexpr char kHeaderTier[] = "tier";
+inline constexpr char kHeaderRetryCount[] = "retry_count";
+
+}  // namespace uberrt::stream
+
+#endif  // UBERRT_STREAM_MESSAGE_H_

@@ -1,0 +1,214 @@
+#include "workload/generators.h"
+
+namespace uberrt::workload {
+
+namespace {
+
+const char* kTripStatuses[] = {"requested", "accepted", "started", "completed",
+                               "canceled"};
+
+Result<int64_t> ProduceWithNoise(stream::MessageBus* bus, const std::string& topic,
+                                 Row row, const std::string& key,
+                                 TimestampMs event_time, const std::string& uid,
+                                 const NoiseOptions& noise, Rng* rng) {
+  int64_t produced = 0;
+  stream::Message message;
+  message.key = key;
+  message.timestamp = event_time;
+  message.headers[stream::kHeaderUid] = uid;
+  message.headers[stream::kHeaderService] = "workload-gen";
+  if (noise.corrupt_probability > 0 && rng->Chance(noise.corrupt_probability)) {
+    message.value = "corrupt:" + rng->AlphaString(8);
+  } else {
+    message.value = EncodeRow(row);
+  }
+  Result<stream::ProduceResult> result =
+      bus->Produce(topic, message, stream::AckMode::kLeader);
+  if (!result.ok()) return result.status();
+  ++produced;
+  if (noise.duplicate_probability > 0 && rng->Chance(noise.duplicate_probability)) {
+    Result<stream::ProduceResult> dup =
+        bus->Produce(topic, std::move(message), stream::AckMode::kLeader);
+    if (!dup.ok()) return dup.status();
+    ++produced;
+  }
+  return produced;
+}
+
+}  // namespace
+
+Result<stream::ProduceResult> ProduceRow(stream::MessageBus* bus,
+                                         const std::string& topic, const Row& row,
+                                         const std::string& key, TimestampMs event_time,
+                                         const std::string& uid) {
+  stream::Message message;
+  message.key = key;
+  message.value = EncodeRow(row);
+  message.timestamp = event_time;
+  message.headers[stream::kHeaderUid] = uid;
+  return bus->Produce(topic, std::move(message), stream::AckMode::kLeader);
+}
+
+// --- TripEventGenerator ------------------------------------------------------
+
+TripEventGenerator::TripEventGenerator(Options options, uint64_t seed)
+    : options_(options), rng_(seed), current_time_(options.start_time_ms) {}
+
+RowSchema TripEventGenerator::Schema() {
+  return RowSchema({{"trip_id", ValueType::kInt},
+                    {"hex", ValueType::kString},
+                    {"driver_id", ValueType::kInt},
+                    {"rider_id", ValueType::kInt},
+                    {"status", ValueType::kString},
+                    {"fare", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+}
+
+Row TripEventGenerator::NextRow() {
+  current_time_ += options_.time_step_ms;
+  TimestampMs event_time = current_time_;
+  if (options_.noise.late_probability > 0 &&
+      rng_.Chance(options_.noise.late_probability)) {
+    event_time -= rng_.Uniform(1, options_.noise.max_lateness_ms);
+    if (event_time < 0) event_time = 0;
+  }
+  std::string hex = "hex" + std::to_string(rng_.Zipf(options_.num_hexes,
+                                                     options_.hex_skew));
+  double fare = std::max(2.5, rng_.Gaussian(18.0, 7.0));
+  return Row{Value(next_trip_id_++),
+             Value(hex),
+             Value(rng_.Uniform(0, options_.num_drivers - 1)),
+             Value(rng_.Uniform(0, options_.num_riders - 1)),
+             Value(std::string(kTripStatuses[rng_.Uniform(0, 4)])),
+             Value(fare),
+             Value(static_cast<int64_t>(event_time))};
+}
+
+Result<int64_t> TripEventGenerator::Produce(stream::MessageBus* bus,
+                                            const std::string& topic, int64_t count) {
+  int64_t produced = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    Row row = NextRow();
+    std::string key = row[1].AsString();
+    TimestampMs event_time = row[6].AsInt();
+    std::string uid = "trip-" + std::to_string(row[0].AsInt());
+    Result<int64_t> n = ProduceWithNoise(bus, topic, std::move(row), key, event_time,
+                                         uid, options_.noise, &rng_);
+    if (!n.ok()) return n;
+    produced += n.value();
+  }
+  return produced;
+}
+
+// --- EatsOrderGenerator ------------------------------------------------------
+
+EatsOrderGenerator::EatsOrderGenerator(Options options, uint64_t seed)
+    : options_(options), rng_(seed), current_time_(options.start_time_ms) {}
+
+RowSchema EatsOrderGenerator::Schema() {
+  return RowSchema({{"order_id", ValueType::kInt},
+                    {"restaurant_id", ValueType::kInt},
+                    {"eater_id", ValueType::kInt},
+                    {"courier_id", ValueType::kInt},
+                    {"city", ValueType::kString},
+                    {"item", ValueType::kString},
+                    {"total", ValueType::kDouble},
+                    {"status", ValueType::kString},
+                    {"ts", ValueType::kInt}});
+}
+
+Row EatsOrderGenerator::NextRow() {
+  current_time_ += options_.time_step_ms;
+  TimestampMs event_time = current_time_;
+  if (options_.noise.late_probability > 0 &&
+      rng_.Chance(options_.noise.late_probability)) {
+    event_time -= rng_.Uniform(1, options_.noise.max_lateness_ms);
+    if (event_time < 0) event_time = 0;
+  }
+  static const char* kOrderStatuses[] = {"placed", "preparing", "picked_up",
+                                         "delivered", "abandoned"};
+  double total = std::max(4.0, rng_.Gaussian(24.0, 10.0));
+  return Row{Value(next_order_id_++),
+             Value(rng_.Zipf(options_.num_restaurants, options_.restaurant_skew)),
+             Value(rng_.Uniform(0, options_.num_eaters - 1)),
+             Value(rng_.Uniform(0, options_.num_couriers - 1)),
+             Value(rng_.Pick(options_.cities)),
+             Value(rng_.Pick(options_.items)),
+             Value(total),
+             Value(std::string(kOrderStatuses[rng_.Uniform(0, 4)])),
+             Value(static_cast<int64_t>(event_time))};
+}
+
+Result<int64_t> EatsOrderGenerator::Produce(stream::MessageBus* bus,
+                                            const std::string& topic, int64_t count) {
+  int64_t produced = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    Row row = NextRow();
+    std::string key = row[1].ToString();  // restaurant id
+    TimestampMs event_time = row[8].AsInt();
+    std::string uid = "order-" + std::to_string(row[0].AsInt());
+    Result<int64_t> n = ProduceWithNoise(bus, topic, std::move(row), key, event_time,
+                                         uid, options_.noise, &rng_);
+    if (!n.ok()) return n;
+    produced += n.value();
+  }
+  return produced;
+}
+
+// --- PredictionGenerator -----------------------------------------------------
+
+PredictionGenerator::PredictionGenerator(Options options, uint64_t seed)
+    : options_(options), rng_(seed), current_time_(options.start_time_ms) {}
+
+RowSchema PredictionGenerator::PredictionSchema() {
+  return RowSchema({{"prediction_id", ValueType::kInt},
+                    {"model_id", ValueType::kString},
+                    {"predicted", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+}
+
+RowSchema PredictionGenerator::OutcomeSchema() {
+  return RowSchema({{"prediction_id", ValueType::kInt},
+                    {"model_id", ValueType::kString},
+                    {"actual", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+}
+
+PredictionGenerator::Pair PredictionGenerator::NextPair() {
+  current_time_ += options_.time_step_ms;
+  int64_t id = next_id_++;
+  int64_t model_index = rng_.Uniform(0, options_.num_models - 1);
+  std::string model = "model" + std::to_string(model_index);
+  double actual = rng_.NextDouble();
+  // Each model has a deterministic bias so the monitoring pipeline has a
+  // real signal to detect.
+  double bias = options_.model_bias * static_cast<double>(model_index % 5);
+  double predicted = actual + bias + rng_.Gaussian(0.0, 0.02);
+  Pair pair;
+  pair.prediction = {Value(id), Value(model), Value(predicted),
+                     Value(static_cast<int64_t>(current_time_))};
+  pair.outcome = {Value(id), Value(model), Value(actual),
+                  Value(static_cast<int64_t>(current_time_ + options_.outcome_delay_ms))};
+  return pair;
+}
+
+Result<int64_t> PredictionGenerator::ProducePairs(stream::MessageBus* bus,
+                                                  const std::string& predictions_topic,
+                                                  const std::string& outcomes_topic,
+                                                  int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    Pair pair = NextPair();
+    std::string key = pair.prediction[0].ToString();
+    Result<stream::ProduceResult> p =
+        ProduceRow(bus, predictions_topic, pair.prediction, key,
+                   pair.prediction[3].AsInt(), "pred-" + key);
+    if (!p.ok()) return p.status();
+    Result<stream::ProduceResult> o =
+        ProduceRow(bus, outcomes_topic, pair.outcome, key, pair.outcome[3].AsInt(),
+                   "outc-" + key);
+    if (!o.ok()) return o.status();
+  }
+  return count;
+}
+
+}  // namespace uberrt::workload

@@ -1,0 +1,266 @@
+#include "compute/window_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace uberrt::compute {
+namespace {
+
+RowSchema EventSchema() {
+  return RowSchema({{"key", ValueType::kString},
+                    {"v", ValueType::kDouble},
+                    {"ts", ValueType::kInt}});
+}
+
+/// Captures emissions.
+class CollectingEmitter : public Emitter {
+ public:
+  void Emit(Row row, TimestampMs event_time) override {
+    rows.push_back(std::move(row));
+    times.push_back(event_time);
+  }
+  std::vector<Row> rows;
+  std::vector<TimestampMs> times;
+};
+
+TransformSpec AggSpec(WindowSpec window, int64_t lateness = 0) {
+  TransformSpec spec;
+  spec.kind = TransformSpec::Kind::kWindowAggregate;
+  spec.name = "agg";
+  spec.key_fields = {"key"};
+  spec.window = window;
+  spec.aggregates = {AggregateSpec::Count("n"), AggregateSpec::Sum("v", "s"),
+                     AggregateSpec::Min("v", "lo"), AggregateSpec::Max("v", "hi"),
+                     AggregateSpec::Avg("v", "avg")};
+  spec.allowed_lateness_ms = lateness;
+  return spec;
+}
+
+Element Record(const std::string& key, double v, TimestampMs ts) {
+  return Element::Record({Value(key), Value(v), Value(ts)}, ts);
+}
+
+TEST(WindowAggregateOperatorTest, TumblingFiresOnceWithAllAggregates) {
+  WindowAggregateOperator op(AggSpec(WindowSpec::Tumbling(100)), EventSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(Record("a", 1.0, 10), &out);
+  op.ProcessRecord(Record("a", 5.0, 20), &out);
+  op.ProcessRecord(Record("a", 3.0, 99), &out);
+  EXPECT_TRUE(out.rows.empty());
+  EXPECT_EQ(op.LiveWindows(), 1);
+  op.OnWatermark(100, &out);
+  ASSERT_EQ(out.rows.size(), 1u);
+  const Row& row = out.rows[0];
+  // [key, window_start, n, s, lo, hi, avg]
+  EXPECT_EQ(row[0].AsString(), "a");
+  EXPECT_EQ(row[1].AsInt(), 0);
+  EXPECT_EQ(row[2].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(row[3].AsDouble(), 9.0);
+  EXPECT_DOUBLE_EQ(row[4].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(row[5].AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(row[6].AsDouble(), 3.0);
+  EXPECT_EQ(op.LiveWindows(), 0);
+  EXPECT_EQ(op.StateBytes(), 0);  // fully reclaimed
+}
+
+TEST(WindowAggregateOperatorTest, NegativeTimestampsAssignCorrectWindows) {
+  WindowAggregateOperator op(AggSpec(WindowSpec::Tumbling(100)), EventSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(Record("a", 1.0, -50), &out);  // window [-100, 0)
+  op.OnWatermark(0, &out);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0][1].AsInt(), -100);
+}
+
+TEST(WindowAggregateOperatorTest, SlidingWindowsOverlap) {
+  // size 100, slide 50: each record lands in 2 windows.
+  WindowAggregateOperator op(AggSpec(WindowSpec::Sliding(100, 50)), EventSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(Record("a", 1.0, 60), &out);  // windows [0,100) and [50,150)
+  op.OnWatermark(200, &out);
+  ASSERT_EQ(out.rows.size(), 2u);
+  std::set<int64_t> starts{out.rows[0][1].AsInt(), out.rows[1][1].AsInt()};
+  EXPECT_TRUE(starts.count(0) == 1 && starts.count(50) == 1);
+}
+
+TEST(WindowAggregateOperatorTest, SessionWindowsMergeOnOverlap) {
+  WindowAggregateOperator op(AggSpec(WindowSpec::Session(100)), EventSchema());
+  CollectingEmitter out;
+  // Two bursts per key: 10,50,90 (one session) then 400 (another session).
+  op.ProcessRecord(Record("a", 1.0, 10), &out);
+  op.ProcessRecord(Record("a", 1.0, 90), &out);
+  op.ProcessRecord(Record("a", 1.0, 50), &out);  // bridges/merges
+  op.ProcessRecord(Record("a", 1.0, 400), &out);
+  EXPECT_EQ(op.LiveWindows(), 2);
+  op.OnWatermark(kMaxWatermark, &out);
+  ASSERT_EQ(out.rows.size(), 2u);
+  // First session counts 3, second 1.
+  std::map<int64_t, int64_t> by_start;
+  for (const Row& row : out.rows) by_start[row[1].AsInt()] = row[2].AsInt();
+  EXPECT_EQ(by_start[10], 3);
+  EXPECT_EQ(by_start[400], 1);
+}
+
+TEST(WindowAggregateOperatorTest, SessionsArePerKey) {
+  WindowAggregateOperator op(AggSpec(WindowSpec::Session(100)), EventSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(Record("a", 1.0, 10), &out);
+  op.ProcessRecord(Record("b", 1.0, 20), &out);  // overlapping time, other key
+  EXPECT_EQ(op.LiveWindows(), 2);
+  op.OnWatermark(kMaxWatermark, &out);
+  EXPECT_EQ(out.rows.size(), 2u);
+}
+
+TEST(WindowAggregateOperatorTest, LatenessExtendsFiring) {
+  WindowAggregateOperator op(AggSpec(WindowSpec::Tumbling(100), /*lateness=*/50),
+                             EventSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(Record("a", 1.0, 10), &out);
+  op.OnWatermark(120, &out);  // end=100, fire at 150
+  EXPECT_TRUE(out.rows.empty());
+  // A late-but-allowed record still lands.
+  op.ProcessRecord(Record("a", 2.0, 20), &out);
+  EXPECT_EQ(op.late_dropped(), 0);
+  op.OnWatermark(150, &out);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0][2].AsInt(), 2);
+  // Beyond lateness: dropped.
+  op.ProcessRecord(Record("a", 3.0, 30), &out);
+  EXPECT_EQ(op.late_dropped(), 1);
+}
+
+TEST(WindowAggregateOperatorTest, SnapshotRestoreIsExact) {
+  Rng rng(13);
+  WindowAggregateOperator original(AggSpec(WindowSpec::Tumbling(1000)), EventSchema());
+  CollectingEmitter sink;
+  for (int i = 0; i < 500; ++i) {
+    original.ProcessRecord(Record("k" + std::to_string(rng.Uniform(0, 20)),
+                                  rng.Gaussian(10, 3), rng.Uniform(0, 10'000)),
+                           &sink);
+  }
+  ASSERT_TRUE(sink.rows.empty());
+  std::string blob = original.SnapshotState();
+
+  WindowAggregateOperator restored(AggSpec(WindowSpec::Tumbling(1000)), EventSchema());
+  ASSERT_TRUE(restored.RestoreState(blob).ok());
+  EXPECT_EQ(restored.LiveWindows(), original.LiveWindows());
+  EXPECT_EQ(restored.StateBytes(), original.StateBytes());
+
+  CollectingEmitter a, b;
+  original.OnWatermark(kMaxWatermark, &a);
+  restored.OnWatermark(kMaxWatermark, &b);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  auto sorter = [](const Row& x, const Row& y) {
+    if (x[0].AsString() != y[0].AsString()) return x[0].AsString() < y[0].AsString();
+    return x[1].AsInt() < y[1].AsInt();
+  };
+  std::sort(a.rows.begin(), a.rows.end(), sorter);
+  std::sort(b.rows.begin(), b.rows.end(), sorter);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+TEST(WindowAggregateOperatorTest, RestoreRejectsCorruptState) {
+  WindowAggregateOperator op(AggSpec(WindowSpec::Tumbling(100)), EventSchema());
+  EXPECT_FALSE(op.RestoreState("junk").ok());
+}
+
+TransformSpec JoinSpec(int64_t size = 1000) {
+  TransformSpec spec;
+  spec.kind = TransformSpec::Kind::kWindowJoin;
+  spec.name = "join";
+  spec.key_fields = {"key"};
+  spec.window = WindowSpec::Tumbling(size);
+  return spec;
+}
+
+RowSchema LeftSchema() {
+  return RowSchema({{"key", ValueType::kString}, {"l", ValueType::kDouble}});
+}
+RowSchema RightSchema() {
+  return RowSchema({{"key", ValueType::kString}, {"r", ValueType::kDouble}});
+}
+
+Element SideRecord(int side, const std::string& key, double v, TimestampMs ts) {
+  Element e = Element::Record({Value(key), Value(v)}, ts);
+  e.side = side;
+  return e;
+}
+
+TEST(WindowJoinOperatorTest, EmitsCrossProductWithinKeyAndWindow) {
+  WindowJoinOperator op(JoinSpec(), LeftSchema(), RightSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(SideRecord(0, "a", 1.0, 10), &out);
+  op.ProcessRecord(SideRecord(0, "a", 2.0, 20), &out);
+  op.ProcessRecord(SideRecord(1, "a", 9.0, 30), &out);  // joins with both lefts
+  EXPECT_EQ(out.rows.size(), 2u);
+  // Different key: no match.
+  op.ProcessRecord(SideRecord(1, "b", 7.0, 30), &out);
+  EXPECT_EQ(out.rows.size(), 2u);
+  // Different window: no match.
+  op.ProcessRecord(SideRecord(1, "a", 8.0, 1500), &out);
+  EXPECT_EQ(out.rows.size(), 2u);
+  // Joined row: [key, l, r] (dup key deduped), time = max of sides.
+  EXPECT_EQ(out.rows[0].size(), 3u);
+  EXPECT_EQ(out.times[0], 30);
+}
+
+TEST(WindowJoinOperatorTest, WatermarkReclaimsBuffers) {
+  WindowJoinOperator op(JoinSpec(1000), LeftSchema(), RightSchema());
+  CollectingEmitter out;
+  op.ProcessRecord(SideRecord(0, "a", 1.0, 10), &out);
+  op.ProcessRecord(SideRecord(1, "a", 2.0, 20), &out);
+  EXPECT_GT(op.StateBytes(), 0);
+  op.OnWatermark(1000, &out);
+  EXPECT_EQ(op.StateBytes(), 0);
+  // Records for the expired window are late now.
+  op.ProcessRecord(SideRecord(0, "a", 3.0, 30), &out);
+  EXPECT_EQ(op.late_dropped(), 1);
+}
+
+TEST(WindowJoinOperatorTest, SnapshotRestorePreservesBuffers) {
+  WindowJoinOperator original(JoinSpec(), LeftSchema(), RightSchema());
+  CollectingEmitter sink;
+  original.ProcessRecord(SideRecord(0, "a", 1.0, 10), &sink);
+  original.ProcessRecord(SideRecord(0, "b", 2.0, 20), &sink);
+  std::string blob = original.SnapshotState();
+
+  WindowJoinOperator restored(JoinSpec(), LeftSchema(), RightSchema());
+  ASSERT_TRUE(restored.RestoreState(blob).ok());
+  EXPECT_EQ(restored.StateBytes(), original.StateBytes());
+  CollectingEmitter out;
+  restored.ProcessRecord(SideRecord(1, "a", 9.0, 30), &out);
+  ASSERT_EQ(out.rows.size(), 1u);  // joins against the restored left buffer
+  EXPECT_DOUBLE_EQ(out.rows[0][1].AsDouble(), 1.0);
+}
+
+/// Property: for random streams, windowed counts from the operator equal a
+/// brute-force reference computation.
+class WindowCountPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WindowCountPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int64_t kWindow = 500;
+  WindowAggregateOperator op(AggSpec(WindowSpec::Tumbling(kWindow)), EventSchema());
+  CollectingEmitter out;
+  std::map<std::pair<std::string, int64_t>, int64_t> reference;
+  for (int i = 0; i < 2'000; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(0, 10));
+    TimestampMs ts = rng.Uniform(0, 20'000);
+    op.ProcessRecord(Record(key, 1.0, ts), &out);
+    int64_t start = ts - ((ts % kWindow) + kWindow) % kWindow;
+    reference[{key, start}]++;
+  }
+  op.OnWatermark(kMaxWatermark, &out);
+  ASSERT_EQ(out.rows.size(), reference.size());
+  for (const Row& row : out.rows) {
+    auto key = std::make_pair(row[0].AsString(), row[1].AsInt());
+    EXPECT_EQ(row[2].AsInt(), reference[key]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowCountPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+}  // namespace
+}  // namespace uberrt::compute

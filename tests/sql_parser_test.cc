@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "sql/expr_eval.h"
+#include "sql/parser.h"
+
+namespace uberrt::sql {
+namespace {
+
+std::unique_ptr<SelectStmt> ParseOrDie(const std::string& query) {
+  Result<std::unique_ptr<SelectStmt>> stmt = ParseSelect(query);
+  EXPECT_TRUE(stmt.ok()) << query << " -> " << stmt.status().ToString();
+  return stmt.ok() ? std::move(stmt.value()) : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseOrDie("SELECT a, b FROM t");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].expr->name, "a");
+  EXPECT_EQ(stmt->from->name, "t");
+  EXPECT_EQ(stmt->limit, -1);
+}
+
+TEST(ParserTest, StarAliasesAndLimit) {
+  auto stmt = ParseOrDie("select * from t limit 10;");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].expr->kind, Expr::Kind::kStar);
+  EXPECT_EQ(stmt->limit, 10);
+  auto aliased = ParseOrDie("SELECT fare AS f, fare * 2 doubled FROM trips");
+  ASSERT_NE(aliased, nullptr);
+  EXPECT_EQ(aliased->items[0].alias, "f");
+  EXPECT_EQ(aliased->items[1].alias, "doubled");
+}
+
+TEST(ParserTest, WherePrecedence) {
+  auto stmt = ParseOrDie("SELECT a FROM t WHERE x > 1 AND y < 2 OR NOT z = 3");
+  ASSERT_NE(stmt, nullptr);
+  // ((x>1 AND y<2) OR (NOT (z=3)))
+  EXPECT_EQ(stmt->where->op, Expr::Op::kOr);
+  EXPECT_EQ(stmt->where->children[0]->op, Expr::Op::kAnd);
+  EXPECT_EQ(stmt->where->children[1]->op, Expr::Op::kNot);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = ParseOrDie("SELECT a + b * 2 - c / 4 FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "((a + (b * 2)) - (c / 4))");
+}
+
+TEST(ParserTest, GroupByWithTumbleWindow) {
+  auto stmt = ParseOrDie(
+      "SELECT hex, COUNT(*) AS n FROM trips "
+      "GROUP BY hex, TUMBLE(ts, INTERVAL '5' MINUTE)");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_TRUE(stmt->window.has_value());
+  EXPECT_EQ(stmt->window->type, WindowClause::Type::kTumble);
+  EXPECT_EQ(stmt->window->time_column, "ts");
+  EXPECT_EQ(stmt->window->size_ms, 5 * 60'000);
+}
+
+TEST(ParserTest, HopAndSessionWindows) {
+  auto hop = ParseOrDie(
+      "SELECT COUNT(*) FROM t GROUP BY HOP(ts, INTERVAL '1' MINUTE, "
+      "INTERVAL '10' MINUTE)");
+  ASSERT_NE(hop, nullptr);
+  EXPECT_EQ(hop->window->type, WindowClause::Type::kHop);
+  EXPECT_EQ(hop->window->slide_ms, 60'000);
+  EXPECT_EQ(hop->window->size_ms, 600'000);
+  auto session =
+      ParseOrDie("SELECT COUNT(*) FROM t GROUP BY SESSION(ts, INTERVAL '30' SECOND)");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->window->type, WindowClause::Type::kSession);
+  EXPECT_EQ(session->window->gap_ms, 30'000);
+}
+
+TEST(ParserTest, JoinWithOnCondition) {
+  auto stmt = ParseOrDie(
+      "SELECT a.x, b.y FROM left_t a JOIN right_t b ON a.id = b.id AND a.v > 3");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(stmt->from->left->name, "left_t");
+  EXPECT_EQ(stmt->from->left->alias, "a");
+  EXPECT_EQ(stmt->from->right->alias, "b");
+  EXPECT_EQ(stmt->from->join_condition->op, Expr::Op::kAnd);
+}
+
+TEST(ParserTest, SubqueryInFrom) {
+  auto stmt = ParseOrDie(
+      "SELECT city, n FROM (SELECT city, COUNT(*) AS n FROM orders GROUP BY city) "
+      "sub WHERE n > 10");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(stmt->from->alias, "sub");
+  ASSERT_NE(stmt->from->subquery, nullptr);
+  EXPECT_EQ(stmt->from->subquery->group_by.size(), 1u);
+}
+
+TEST(ParserTest, OrderByHavingDistinctDirections) {
+  auto stmt = ParseOrDie(
+      "SELECT city, SUM(v) AS s FROM t GROUP BY city HAVING SUM(v) > 5 "
+      "ORDER BY s DESC, city ASC LIMIT 7");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_NE(stmt->having, nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_EQ(stmt->limit, 7);
+}
+
+TEST(ParserTest, LiteralsAndFunctions) {
+  auto stmt = ParseOrDie(
+      "SELECT COUNT(*), SUM(fare), ABS(delta) FROM t "
+      "WHERE name = 'some string' AND flag = TRUE AND x <> NULL");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->items[0].expr->ContainsAggregate());
+  EXPECT_TRUE(stmt->items[1].expr->ContainsAggregate());
+  EXPECT_FALSE(stmt->items[2].expr->ContainsAggregate());
+}
+
+TEST(ParserTest, QualifiedCatalogTableNames) {
+  auto stmt = ParseOrDie("SELECT x FROM hive.raw.orders");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->from->name, "hive.raw.orders");
+}
+
+TEST(ParserTest, ErrorsAreClear) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());                 // no FROM
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());    // dangling
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP x").ok());  // missing BY
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage !").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE name = 'unterminated").ok());
+}
+
+TEST(ExprEvalTest, ArithmeticAndComparisons) {
+  RowSchema schema({{"a", ValueType::kInt}, {"b", ValueType::kDouble},
+                    {"s", ValueType::kString}});
+  RowBinding binding(schema);
+  Row row{Value(int64_t{6}), Value(2.5), Value("hi")};
+  auto eval = [&](const std::string& sql_expr) {
+    auto stmt = ParseOrDie("SELECT " + sql_expr + " FROM t");
+    Result<Value> v = EvalExpr(*stmt->items[0].expr, row, binding);
+    EXPECT_TRUE(v.ok()) << sql_expr << ": " << v.status().ToString();
+    return v.ok() ? v.value() : Value::Null();
+  };
+  EXPECT_DOUBLE_EQ(eval("a + b").ToNumeric(), 8.5);
+  EXPECT_DOUBLE_EQ(eval("a * 2 - 1").ToNumeric(), 11.0);
+  EXPECT_DOUBLE_EQ(eval("a / 4").ToNumeric(), 1.5);
+  EXPECT_TRUE(eval("a / 0").is_null());  // SQL-style null on divide-by-zero
+  EXPECT_TRUE(eval("a > 5").AsBool());
+  EXPECT_TRUE(eval("a >= 6 AND b < 3").AsBool());
+  EXPECT_FALSE(eval("a = 7").AsBool());
+  EXPECT_TRUE(eval("s = 'hi'").AsBool());
+  EXPECT_TRUE(eval("NOT (a < 0)").AsBool());
+  EXPECT_DOUBLE_EQ(eval("ABS(0 - a)").ToNumeric(), 6.0);
+  EXPECT_EQ(eval("LENGTH(s)").AsInt(), 2);
+  EXPECT_DOUBLE_EQ(eval("-a").ToNumeric(), -6.0);
+}
+
+TEST(ExprEvalTest, QualifiedAndAmbiguousColumns) {
+  RowBinding binding;
+  binding.Add("a", RowSchema({{"id", ValueType::kInt}}), 0);
+  binding.Add("b", RowSchema({{"id", ValueType::kInt}}), 1);
+  Row row{Value(int64_t{1}), Value(int64_t{2})};
+  auto q = Expr::Column("b", "id");
+  EXPECT_EQ(EvalExpr(*q, row, binding).value().AsInt(), 2);
+  auto unqualified = Expr::Column("", "id");
+  EXPECT_FALSE(EvalExpr(*unqualified, row, binding).ok());  // ambiguous
+  auto unknown = Expr::Column("", "nope");
+  EXPECT_FALSE(EvalExpr(*unknown, row, binding).ok());
+}
+
+TEST(ExprEvalTest, AggregateInScalarContextRejected) {
+  RowBinding binding(RowSchema({{"a", ValueType::kInt}}));
+  auto call = Expr::Call("SUM", {});
+  EXPECT_FALSE(EvalExpr(*call, {Value(int64_t{1})}, binding).ok());
+}
+
+}  // namespace
+}  // namespace uberrt::sql
