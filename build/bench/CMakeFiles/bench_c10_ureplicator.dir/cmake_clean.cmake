@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_ureplicator.dir/bench_c10_ureplicator.cc.o"
+  "CMakeFiles/bench_c10_ureplicator.dir/bench_c10_ureplicator.cc.o.d"
+  "bench_c10_ureplicator"
+  "bench_c10_ureplicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_ureplicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

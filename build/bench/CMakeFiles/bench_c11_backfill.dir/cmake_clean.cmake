@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_backfill.dir/bench_c11_backfill.cc.o"
+  "CMakeFiles/bench_c11_backfill.dir/bench_c11_backfill.cc.o.d"
+  "bench_c11_backfill"
+  "bench_c11_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_job_profiles.dir/bench_c12_job_profiles.cc.o"
+  "CMakeFiles/bench_c12_job_profiles.dir/bench_c12_job_profiles.cc.o.d"
+  "bench_c12_job_profiles"
+  "bench_c12_job_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_job_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

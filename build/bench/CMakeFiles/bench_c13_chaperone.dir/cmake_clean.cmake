@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c13_chaperone.dir/bench_c13_chaperone.cc.o"
+  "CMakeFiles/bench_c13_chaperone.dir/bench_c13_chaperone.cc.o.d"
+  "bench_c13_chaperone"
+  "bench_c13_chaperone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c13_chaperone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c14_slas.dir/bench_c14_slas.cc.o"
+  "CMakeFiles/bench_c14_slas.dir/bench_c14_slas.cc.o.d"
+  "bench_c14_slas"
+  "bench_c14_slas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c14_slas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_federation.dir/bench_c1_federation.cc.o"
+  "CMakeFiles/bench_c1_federation.dir/bench_c1_federation.cc.o.d"
+  "bench_c1_federation"
+  "bench_c1_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_backpressure.dir/bench_c2_backpressure.cc.o"
+  "CMakeFiles/bench_c2_backpressure.dir/bench_c2_backpressure.cc.o.d"
+  "bench_c2_backpressure"
+  "bench_c2_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

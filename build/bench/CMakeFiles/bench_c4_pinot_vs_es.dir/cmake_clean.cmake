@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_pinot_vs_es.dir/bench_c4_pinot_vs_es.cc.o"
+  "CMakeFiles/bench_c4_pinot_vs_es.dir/bench_c4_pinot_vs_es.cc.o.d"
+  "bench_c4_pinot_vs_es"
+  "bench_c4_pinot_vs_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_pinot_vs_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_pinot_vs_druid.dir/bench_c5_pinot_vs_druid.cc.o"
+  "CMakeFiles/bench_c5_pinot_vs_druid.dir/bench_c5_pinot_vs_druid.cc.o.d"
+  "bench_c5_pinot_vs_druid"
+  "bench_c5_pinot_vs_druid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_pinot_vs_druid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_upsert.dir/bench_c6_upsert.cc.o"
+  "CMakeFiles/bench_c6_upsert.dir/bench_c6_upsert.cc.o.d"
+  "bench_c6_upsert"
+  "bench_c6_upsert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_upsert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

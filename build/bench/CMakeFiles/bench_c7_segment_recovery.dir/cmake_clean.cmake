@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_segment_recovery.dir/bench_c7_segment_recovery.cc.o"
+  "CMakeFiles/bench_c7_segment_recovery.dir/bench_c7_segment_recovery.cc.o.d"
+  "bench_c7_segment_recovery"
+  "bench_c7_segment_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_segment_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_dlq.dir/bench_c9_dlq.cc.o"
+  "CMakeFiles/bench_c9_dlq.dir/bench_c9_dlq.cc.o.d"
+  "bench_c9_dlq"
+  "bench_c9_dlq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_dlq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

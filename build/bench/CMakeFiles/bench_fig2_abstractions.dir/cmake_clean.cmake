@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_abstractions.dir/bench_fig2_abstractions.cc.o"
+  "CMakeFiles/bench_fig2_abstractions.dir/bench_fig2_abstractions.cc.o.d"
+  "bench_fig2_abstractions"
+  "bench_fig2_abstractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_unified_flink.dir/bench_fig5_unified_flink.cc.o"
+  "CMakeFiles/bench_fig5_unified_flink.dir/bench_fig5_unified_flink.cc.o.d"
+  "bench_fig5_unified_flink"
+  "bench_fig5_unified_flink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_unified_flink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/backfill_replay.cpp" "examples/CMakeFiles/backfill_replay.dir/backfill_replay.cpp.o" "gcc" "examples/CMakeFiles/backfill_replay.dir/backfill_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uberrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uberrt_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/allactive/CMakeFiles/uberrt_allactive.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uberrt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/uberrt_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/uberrt_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uberrt_sqlfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/uberrt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/uberrt_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uberrt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uberrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

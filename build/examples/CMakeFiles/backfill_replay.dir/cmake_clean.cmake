@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfill_replay.dir/backfill_replay.cpp.o"
+  "CMakeFiles/backfill_replay.dir/backfill_replay.cpp.o.d"
+  "backfill_replay"
+  "backfill_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfill_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

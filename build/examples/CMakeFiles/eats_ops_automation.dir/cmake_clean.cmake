@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eats_ops_automation.dir/eats_ops_automation.cpp.o"
+  "CMakeFiles/eats_ops_automation.dir/eats_ops_automation.cpp.o.d"
+  "eats_ops_automation"
+  "eats_ops_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eats_ops_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

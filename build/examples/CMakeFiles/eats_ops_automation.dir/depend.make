@@ -1,0 +1,2 @@
+# Empty dependencies file for eats_ops_automation.
+# This may be replaced when dependencies are built.

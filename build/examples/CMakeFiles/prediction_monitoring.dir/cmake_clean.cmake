@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_monitoring.dir/prediction_monitoring.cpp.o"
+  "CMakeFiles/prediction_monitoring.dir/prediction_monitoring.cpp.o.d"
+  "prediction_monitoring"
+  "prediction_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

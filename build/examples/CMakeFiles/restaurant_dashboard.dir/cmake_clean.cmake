@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_dashboard.dir/restaurant_dashboard.cpp.o"
+  "CMakeFiles/restaurant_dashboard.dir/restaurant_dashboard.cpp.o.d"
+  "restaurant_dashboard"
+  "restaurant_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_pricing.dir/surge_pricing.cpp.o"
+  "CMakeFiles/surge_pricing.dir/surge_pricing.cpp.o.d"
+  "surge_pricing"
+  "surge_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

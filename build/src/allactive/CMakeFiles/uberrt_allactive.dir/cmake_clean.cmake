@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_allactive.dir/coordinator.cc.o"
+  "CMakeFiles/uberrt_allactive.dir/coordinator.cc.o.d"
+  "CMakeFiles/uberrt_allactive.dir/topology.cc.o"
+  "CMakeFiles/uberrt_allactive.dir/topology.cc.o.d"
+  "libuberrt_allactive.a"
+  "libuberrt_allactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_allactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_common.dir/clock.cc.o"
+  "CMakeFiles/uberrt_common.dir/clock.cc.o.d"
+  "CMakeFiles/uberrt_common.dir/metrics.cc.o"
+  "CMakeFiles/uberrt_common.dir/metrics.cc.o.d"
+  "CMakeFiles/uberrt_common.dir/status.cc.o"
+  "CMakeFiles/uberrt_common.dir/status.cc.o.d"
+  "CMakeFiles/uberrt_common.dir/value.cc.o"
+  "CMakeFiles/uberrt_common.dir/value.cc.o.d"
+  "libuberrt_common.a"
+  "libuberrt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

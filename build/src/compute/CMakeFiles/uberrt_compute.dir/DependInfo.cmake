@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/backfill.cc" "src/compute/CMakeFiles/uberrt_compute.dir/backfill.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/backfill.cc.o.d"
+  "/root/repo/src/compute/baselines.cc" "src/compute/CMakeFiles/uberrt_compute.dir/baselines.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/baselines.cc.o.d"
+  "/root/repo/src/compute/checkpoint.cc" "src/compute/CMakeFiles/uberrt_compute.dir/checkpoint.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/checkpoint.cc.o.d"
+  "/root/repo/src/compute/flink_sql.cc" "src/compute/CMakeFiles/uberrt_compute.dir/flink_sql.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/flink_sql.cc.o.d"
+  "/root/repo/src/compute/job_graph.cc" "src/compute/CMakeFiles/uberrt_compute.dir/job_graph.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/job_graph.cc.o.d"
+  "/root/repo/src/compute/job_manager.cc" "src/compute/CMakeFiles/uberrt_compute.dir/job_manager.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/job_manager.cc.o.d"
+  "/root/repo/src/compute/job_runner.cc" "src/compute/CMakeFiles/uberrt_compute.dir/job_runner.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/job_runner.cc.o.d"
+  "/root/repo/src/compute/operators.cc" "src/compute/CMakeFiles/uberrt_compute.dir/operators.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/operators.cc.o.d"
+  "/root/repo/src/compute/window_operator.cc" "src/compute/CMakeFiles/uberrt_compute.dir/window_operator.cc.o" "gcc" "src/compute/CMakeFiles/uberrt_compute.dir/window_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uberrt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uberrt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/uberrt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uberrt_sqlfront.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_compute.dir/backfill.cc.o"
+  "CMakeFiles/uberrt_compute.dir/backfill.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/baselines.cc.o"
+  "CMakeFiles/uberrt_compute.dir/baselines.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/checkpoint.cc.o"
+  "CMakeFiles/uberrt_compute.dir/checkpoint.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/flink_sql.cc.o"
+  "CMakeFiles/uberrt_compute.dir/flink_sql.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/job_graph.cc.o"
+  "CMakeFiles/uberrt_compute.dir/job_graph.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/job_manager.cc.o"
+  "CMakeFiles/uberrt_compute.dir/job_manager.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/job_runner.cc.o"
+  "CMakeFiles/uberrt_compute.dir/job_runner.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/operators.cc.o"
+  "CMakeFiles/uberrt_compute.dir/operators.cc.o.d"
+  "CMakeFiles/uberrt_compute.dir/window_operator.cc.o"
+  "CMakeFiles/uberrt_compute.dir/window_operator.cc.o.d"
+  "libuberrt_compute.a"
+  "libuberrt_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

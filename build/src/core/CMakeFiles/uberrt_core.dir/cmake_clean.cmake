@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_core.dir/platform.cc.o"
+  "CMakeFiles/uberrt_core.dir/platform.cc.o.d"
+  "CMakeFiles/uberrt_core.dir/use_cases.cc.o"
+  "CMakeFiles/uberrt_core.dir/use_cases.cc.o.d"
+  "libuberrt_core.a"
+  "libuberrt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

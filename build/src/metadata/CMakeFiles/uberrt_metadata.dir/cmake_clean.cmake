@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_metadata.dir/schema_registry.cc.o"
+  "CMakeFiles/uberrt_metadata.dir/schema_registry.cc.o.d"
+  "libuberrt_metadata.a"
+  "libuberrt_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_olap.dir/baselines.cc.o"
+  "CMakeFiles/uberrt_olap.dir/baselines.cc.o.d"
+  "CMakeFiles/uberrt_olap.dir/cluster.cc.o"
+  "CMakeFiles/uberrt_olap.dir/cluster.cc.o.d"
+  "CMakeFiles/uberrt_olap.dir/segment.cc.o"
+  "CMakeFiles/uberrt_olap.dir/segment.cc.o.d"
+  "CMakeFiles/uberrt_olap.dir/table.cc.o"
+  "CMakeFiles/uberrt_olap.dir/table.cc.o.d"
+  "libuberrt_olap.a"
+  "libuberrt_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuberrt_olap.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_sql.dir/engine.cc.o"
+  "CMakeFiles/uberrt_sql.dir/engine.cc.o.d"
+  "libuberrt_sql.a"
+  "libuberrt_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

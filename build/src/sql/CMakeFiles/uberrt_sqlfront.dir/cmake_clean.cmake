@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_sqlfront.dir/ast.cc.o"
+  "CMakeFiles/uberrt_sqlfront.dir/ast.cc.o.d"
+  "CMakeFiles/uberrt_sqlfront.dir/expr_eval.cc.o"
+  "CMakeFiles/uberrt_sqlfront.dir/expr_eval.cc.o.d"
+  "CMakeFiles/uberrt_sqlfront.dir/parser.cc.o"
+  "CMakeFiles/uberrt_sqlfront.dir/parser.cc.o.d"
+  "libuberrt_sqlfront.a"
+  "libuberrt_sqlfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_sqlfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uberrt_sqlfront.
+# This may be replaced when dependencies are built.

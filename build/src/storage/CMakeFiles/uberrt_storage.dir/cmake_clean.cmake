@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_storage.dir/archive.cc.o"
+  "CMakeFiles/uberrt_storage.dir/archive.cc.o.d"
+  "CMakeFiles/uberrt_storage.dir/object_store.cc.o"
+  "CMakeFiles/uberrt_storage.dir/object_store.cc.o.d"
+  "libuberrt_storage.a"
+  "libuberrt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

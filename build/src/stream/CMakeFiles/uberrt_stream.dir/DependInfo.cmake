@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/broker.cc" "src/stream/CMakeFiles/uberrt_stream.dir/broker.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/broker.cc.o.d"
+  "/root/repo/src/stream/chaperone.cc" "src/stream/CMakeFiles/uberrt_stream.dir/chaperone.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/chaperone.cc.o.d"
+  "/root/repo/src/stream/consumer.cc" "src/stream/CMakeFiles/uberrt_stream.dir/consumer.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/consumer.cc.o.d"
+  "/root/repo/src/stream/consumer_proxy.cc" "src/stream/CMakeFiles/uberrt_stream.dir/consumer_proxy.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/consumer_proxy.cc.o.d"
+  "/root/repo/src/stream/dlq.cc" "src/stream/CMakeFiles/uberrt_stream.dir/dlq.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/dlq.cc.o.d"
+  "/root/repo/src/stream/federation.cc" "src/stream/CMakeFiles/uberrt_stream.dir/federation.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/federation.cc.o.d"
+  "/root/repo/src/stream/log.cc" "src/stream/CMakeFiles/uberrt_stream.dir/log.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/log.cc.o.d"
+  "/root/repo/src/stream/ureplicator.cc" "src/stream/CMakeFiles/uberrt_stream.dir/ureplicator.cc.o" "gcc" "src/stream/CMakeFiles/uberrt_stream.dir/ureplicator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uberrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_stream.dir/broker.cc.o"
+  "CMakeFiles/uberrt_stream.dir/broker.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/chaperone.cc.o"
+  "CMakeFiles/uberrt_stream.dir/chaperone.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/consumer.cc.o"
+  "CMakeFiles/uberrt_stream.dir/consumer.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/consumer_proxy.cc.o"
+  "CMakeFiles/uberrt_stream.dir/consumer_proxy.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/dlq.cc.o"
+  "CMakeFiles/uberrt_stream.dir/dlq.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/federation.cc.o"
+  "CMakeFiles/uberrt_stream.dir/federation.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/log.cc.o"
+  "CMakeFiles/uberrt_stream.dir/log.cc.o.d"
+  "CMakeFiles/uberrt_stream.dir/ureplicator.cc.o"
+  "CMakeFiles/uberrt_stream.dir/ureplicator.cc.o.d"
+  "libuberrt_stream.a"
+  "libuberrt_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

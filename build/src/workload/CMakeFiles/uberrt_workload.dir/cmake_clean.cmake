@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberrt_workload.dir/generators.cc.o"
+  "CMakeFiles/uberrt_workload.dir/generators.cc.o.d"
+  "libuberrt_workload.a"
+  "libuberrt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberrt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

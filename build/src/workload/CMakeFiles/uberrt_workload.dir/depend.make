@@ -1,0 +1,2 @@
+# Empty dependencies file for uberrt_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allactive_test.dir/allactive_test.cc.o"
+  "CMakeFiles/allactive_test.dir/allactive_test.cc.o.d"
+  "allactive_test"
+  "allactive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allactive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

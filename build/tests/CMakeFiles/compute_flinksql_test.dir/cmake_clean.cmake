@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_flinksql_test.dir/compute_flinksql_test.cc.o"
+  "CMakeFiles/compute_flinksql_test.dir/compute_flinksql_test.cc.o.d"
+  "compute_flinksql_test"
+  "compute_flinksql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_flinksql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

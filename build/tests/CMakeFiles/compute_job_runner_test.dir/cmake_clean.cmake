@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_job_runner_test.dir/compute_job_runner_test.cc.o"
+  "CMakeFiles/compute_job_runner_test.dir/compute_job_runner_test.cc.o.d"
+  "compute_job_runner_test"
+  "compute_job_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_job_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

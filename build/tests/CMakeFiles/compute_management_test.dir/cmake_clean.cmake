@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_management_test.dir/compute_management_test.cc.o"
+  "CMakeFiles/compute_management_test.dir/compute_management_test.cc.o.d"
+  "compute_management_test"
+  "compute_management_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_management_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

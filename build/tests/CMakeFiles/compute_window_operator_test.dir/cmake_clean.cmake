@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_window_operator_test.dir/compute_window_operator_test.cc.o"
+  "CMakeFiles/compute_window_operator_test.dir/compute_window_operator_test.cc.o.d"
+  "compute_window_operator_test"
+  "compute_window_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_window_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compute_window_operator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_segment_test.dir/olap_segment_test.cc.o"
+  "CMakeFiles/olap_segment_test.dir/olap_segment_test.cc.o.d"
+  "olap_segment_test"
+  "olap_segment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

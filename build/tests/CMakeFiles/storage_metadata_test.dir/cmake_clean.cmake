@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_metadata_test.dir/storage_metadata_test.cc.o"
+  "CMakeFiles/storage_metadata_test.dir/storage_metadata_test.cc.o.d"
+  "storage_metadata_test"
+  "storage_metadata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

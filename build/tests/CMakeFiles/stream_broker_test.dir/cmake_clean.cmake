@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_broker_test.dir/stream_broker_test.cc.o"
+  "CMakeFiles/stream_broker_test.dir/stream_broker_test.cc.o.d"
+  "stream_broker_test"
+  "stream_broker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_dlq_proxy_test.dir/stream_dlq_proxy_test.cc.o"
+  "CMakeFiles/stream_dlq_proxy_test.dir/stream_dlq_proxy_test.cc.o.d"
+  "stream_dlq_proxy_test"
+  "stream_dlq_proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_dlq_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_federation_test.dir/stream_federation_test.cc.o"
+  "CMakeFiles/stream_federation_test.dir/stream_federation_test.cc.o.d"
+  "stream_federation_test"
+  "stream_federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_replication_test.dir/stream_replication_test.cc.o"
+  "CMakeFiles/stream_replication_test.dir/stream_replication_test.cc.o.d"
+  "stream_replication_test"
+  "stream_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
