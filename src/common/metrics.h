@@ -13,22 +13,27 @@
 namespace uberrt {
 
 /// Monotonic counter (messages produced, bytes written, retries, ...).
+/// Relaxed memory order: a counter is a standalone statistic, never used to
+/// publish other data, so the hot path pays no fence.
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_.fetch_add(delta); }
-  int64_t value() const { return value_.load(); }
-  void Reset() { value_.store(0); }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> value_{0};
 };
 
 /// Point-in-time gauge (queue depth, consumer lag, state size, ...).
+/// Relaxed memory order, same rationale as Counter.
 class Gauge {
  public:
-  void Set(int64_t v) { value_.store(v); }
-  void Add(int64_t delta) { value_.fetch_add(delta); }
-  int64_t value() const { return value_.load(); }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> value_{0};
@@ -36,11 +41,17 @@ class Gauge {
 
 /// Latency/size distribution with percentile queries. Stores raw samples;
 /// fine at laptop scale and keeps percentiles exact for the SLA benches.
+/// Percentile queries use a lazily-sorted cache invalidated by Record, so
+/// repeated queries between records are O(1) after one sort instead of a
+/// copy+sort per query; Mean/Max are running aggregates.
 class Histogram {
  public:
   void Record(int64_t sample) {
     std::lock_guard<std::mutex> lock(mu_);
     samples_.push_back(sample);
+    sorted_valid_ = false;
+    sum_ += static_cast<double>(sample);
+    if (samples_.size() == 1 || sample > max_) max_ = sample;
   }
 
   size_t Count() const {
@@ -53,35 +64,47 @@ class Histogram {
   int64_t Percentile(double q) const {
     std::lock_guard<std::mutex> lock(mu_);
     if (samples_.empty()) return 0;
-    std::vector<int64_t> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    size_t idx = static_cast<size_t>(q / 100.0 * static_cast<double>(sorted.size() - 1));
-    if (idx >= sorted.size()) idx = sorted.size() - 1;
-    return sorted[idx];
+    EnsureSortedLocked();
+    size_t idx = static_cast<size_t>(q / 100.0 * static_cast<double>(sorted_.size() - 1));
+    if (idx >= sorted_.size()) idx = sorted_.size() - 1;
+    return sorted_[idx];
   }
 
   double Mean() const {
     std::lock_guard<std::mutex> lock(mu_);
     if (samples_.empty()) return 0.0;
-    double sum = 0;
-    for (int64_t s : samples_) sum += static_cast<double>(s);
-    return sum / static_cast<double>(samples_.size());
+    return sum_ / static_cast<double>(samples_.size());
   }
 
   int64_t Max() const {
     std::lock_guard<std::mutex> lock(mu_);
     if (samples_.empty()) return 0;
-    return *std::max_element(samples_.begin(), samples_.end());
+    return max_;
   }
 
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = true;
+    sum_ = 0.0;
+    max_ = 0;
   }
 
  private:
+  void EnsureSortedLocked() const {
+    if (sorted_valid_) return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+
   mutable std::mutex mu_;
   std::vector<int64_t> samples_;
+  mutable std::vector<int64_t> sorted_;   // cache, valid when sorted_valid_
+  mutable bool sorted_valid_ = true;
+  double sum_ = 0.0;
+  int64_t max_ = 0;
 };
 
 /// Named metric registry. Each subsystem registers its counters here so the

@@ -1,0 +1,34 @@
+#ifndef UBERRT_STREAM_ASSIGNMENT_H_
+#define UBERRT_STREAM_ASSIGNMENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace uberrt::stream {
+
+/// Kafka's range assignment strategy (the client default): partitions are
+/// laid out in order and split into contiguous blocks, one per member (in
+/// sorted member order). The first `num_partitions % num_members` members
+/// get one extra partition. Shared by Broker and KafkaFederation group
+/// coordination so a consumer sees the same placement either way.
+inline std::vector<int32_t> RangeAssignment(int32_t num_partitions,
+                                            int32_t num_members,
+                                            int32_t member_index) {
+  std::vector<int32_t> assigned;
+  if (num_partitions <= 0 || num_members <= 0 || member_index < 0 ||
+      member_index >= num_members) {
+    return assigned;
+  }
+  int32_t base = num_partitions / num_members;
+  int32_t extra = num_partitions % num_members;
+  int32_t start = member_index * base + std::min(member_index, extra);
+  int32_t count = base + (member_index < extra ? 1 : 0);
+  assigned.reserve(static_cast<size_t>(count));
+  for (int32_t p = start; p < start + count; ++p) assigned.push_back(p);
+  return assigned;
+}
+
+}  // namespace uberrt::stream
+
+#endif  // UBERRT_STREAM_ASSIGNMENT_H_

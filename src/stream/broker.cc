@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "stream/assignment.h"
 
 namespace uberrt::stream {
 
@@ -20,62 +21,76 @@ std::string OffsetKey(const std::string& group, const std::string& topic,
 }  // namespace
 
 Broker::Broker(std::string name, BrokerOptions options, Clock* clock)
-    : name_(std::move(name)), options_(options), clock_(clock) {}
+    : name_(std::move(name)),
+      options_(options),
+      clock_(clock),
+      produced_counter_(metrics_.GetCounter("broker." + name_ + ".produced")),
+      dropped_counter_(metrics_.GetCounter("broker." + name_ + ".dropped")),
+      retention_dropped_counter_(
+          metrics_.GetCounter("broker." + name_ + ".retention_dropped")) {}
 
 Status Broker::CreateTopic(const std::string& topic, TopicConfig config) {
   if (config.num_partitions <= 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (topics_.count(topic) > 0) {
-    return Status::AlreadyExists("topic exists: " + topic);
-  }
-  auto t = std::make_unique<Topic>();
+  auto t = std::make_shared<Topic>();
   t->config = config;
   t->partitions.reserve(static_cast<size_t>(config.num_partitions));
   for (int32_t i = 0; i < config.num_partitions; ++i) {
     t->partitions.push_back(std::make_unique<PartitionLog>());
+  }
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  if (topics_.count(topic) > 0) {
+    return Status::AlreadyExists("topic exists: " + topic);
   }
   topics_.emplace(topic, std::move(t));
   return Status::Ok();
 }
 
 Status Broker::DeleteTopic(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (topics_.erase(topic) == 0) return Status::NotFound("no topic: " + topic);
+  std::shared_ptr<Topic> doomed;
+  {
+    std::lock_guard<std::mutex> lock(topics_mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+    // Keep the last reference until after the lock is released so the
+    // (potentially large) logs are never destroyed under topics_mu_.
+    doomed = std::move(it->second);
+    topics_.erase(it);
+  }
   return Status::Ok();
 }
 
 bool Broker::HasTopic(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(topics_mu_);
   return topics_.count(topic) > 0;
 }
 
 Result<TopicConfig> Broker::GetTopicConfig(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
-  return it->second->config;
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  return found.value()->config;
 }
 
 std::vector<std::string> Broker::ListTopics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(topics_mu_);
   std::vector<std::string> out;
   for (const auto& [name, topic] : topics_) out.push_back(name);
   return out;
 }
 
 Result<int32_t> Broker::NumPartitions(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
-  return static_cast<int32_t>(it->second->partitions.size());
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  return static_cast<int32_t>(found.value()->partitions.size());
 }
 
-Result<Broker::Topic*> Broker::FindTopic(const std::string& topic) const {
+Result<std::shared_ptr<Broker::Topic>> Broker::FindTopic(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
-  return it->second.get();
+  return it->second;
 }
 
 void Broker::SpinCoordinationWork(AckMode ack) const {
@@ -94,28 +109,26 @@ void Broker::SpinCoordinationWork(AckMode ack) const {
 
 Result<ProduceResult> Broker::Produce(const std::string& topic, Message message,
                                       AckMode ack) {
-  Topic* t = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) {
-      auto it = topics_.find(topic);
-      if (it != topics_.end() && !it->second->config.lossless) {
-        // Availability over consistency: non-lossless topics drop silently.
-        metrics_.GetCounter("broker." + name_ + ".dropped")->Increment();
-        ProduceResult dropped;
-        dropped.dropped = true;
-        return dropped;
-      }
-      if (ack == AckMode::kNone) {
-        ProduceResult lost;
-        lost.dropped = true;
-        return lost;  // fire-and-forget into a dead cluster
-      }
-      return Status::Unavailable("cluster " + name_ + " down");
+  // Topic existence is checked before availability: a missing topic is
+  // NotFound even while the cluster is down, so federation retry logic does
+  // not spin forever on a topic that will never exist.
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Topic> t = std::move(found.value());
+  if (!available_.load(std::memory_order_acquire)) {
+    if (!t->config.lossless) {
+      // Availability over consistency: non-lossless topics drop silently.
+      dropped_counter_->Increment();
+      ProduceResult dropped;
+      dropped.dropped = true;
+      return dropped;
     }
-    Result<Topic*> found = FindTopic(topic);
-    if (!found.ok()) return found.status();
-    t = found.value();
+    if (ack == AckMode::kNone) {
+      ProduceResult lost;
+      lost.dropped = true;
+      return lost;  // fire-and-forget into a dead cluster
+    }
+    return Status::Unavailable("cluster " + name_ + " down");
   }
   SpinCoordinationWork(ack);
   int32_t partition = message.partition;
@@ -135,7 +148,7 @@ Result<ProduceResult> Broker::Produce(const std::string& topic, Message message,
   if (message.timestamp == 0) message.timestamp = clock_->NowMs();
   message.partition = partition;
   int64_t offset = t->partitions[static_cast<size_t>(partition)]->Append(std::move(message));
-  metrics_.GetCounter("broker." + name_ + ".produced")->Increment();
+  produced_counter_->Increment();
   ProduceResult result;
   result.partition = partition;
   result.offset = offset;
@@ -143,13 +156,11 @@ Result<ProduceResult> Broker::Produce(const std::string& topic, Message message,
 }
 
 Status Broker::Replicate(const std::string& topic, const Message& message) {
-  Topic* t = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) return Status::Unavailable("cluster " + name_ + " down");
-    Result<Topic*> found = FindTopic(topic);
-    if (!found.ok()) return found.status();
-    t = found.value();
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Topic> t = std::move(found.value());
+  if (!available_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("cluster " + name_ + " down");
   }
   if (message.partition < 0 ||
       message.partition >= static_cast<int32_t>(t->partitions.size())) {
@@ -160,26 +171,24 @@ Status Broker::Replicate(const std::string& topic, const Message& message) {
 
 Result<std::vector<Message>> Broker::Fetch(const std::string& topic, int32_t partition,
                                            int64_t offset, size_t max_messages) const {
-  const PartitionLog* log = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) return Status::Unavailable("cluster " + name_ + " down");
-    Result<Topic*> found = FindTopic(topic);
-    if (!found.ok()) return found.status();
-    Topic* t = found.value();
-    if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
-      return Status::InvalidArgument("partition out of range");
-    }
-    log = t->partitions[static_cast<size_t>(partition)].get();
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Topic> t = std::move(found.value());
+  if (!available_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("cluster " + name_ + " down");
   }
-  return log->Read(offset, max_messages);
+  if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  // The shared_ptr keeps the topic and its logs alive even if DeleteTopic
+  // lands between the lookup and this read.
+  return t->partitions[static_cast<size_t>(partition)]->Read(offset, max_messages);
 }
 
 Result<int64_t> Broker::BeginOffset(const std::string& topic, int32_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Topic*> found = FindTopic(topic);
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
   if (!found.ok()) return found.status();
-  Topic* t = found.value();
+  std::shared_ptr<Topic> t = std::move(found.value());
   if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
     return Status::InvalidArgument("partition out of range");
   }
@@ -187,10 +196,9 @@ Result<int64_t> Broker::BeginOffset(const std::string& topic, int32_t partition)
 }
 
 Result<int64_t> Broker::EndOffset(const std::string& topic, int32_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Topic*> found = FindTopic(topic);
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
   if (!found.ok()) return found.status();
-  Topic* t = found.value();
+  std::shared_ptr<Topic> t = std::move(found.value());
   if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
     return Status::InvalidArgument("partition out of range");
   }
@@ -199,8 +207,8 @@ Result<int64_t> Broker::EndOffset(const std::string& topic, int32_t partition) c
 
 Status Broker::JoinGroup(const std::string& group, const std::string& topic,
                          const std::string& member) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (topics_.count(topic) == 0) return Status::NotFound("no topic: " + topic);
+  if (!HasTopic(topic)) return Status::NotFound("no topic: " + topic);
+  std::lock_guard<std::mutex> lock(groups_mu_);
   Group& g = groups_[GroupKey(group, topic)];
   if (std::find(g.members.begin(), g.members.end(), member) != g.members.end()) {
     return Status::AlreadyExists("member already in group");
@@ -213,7 +221,7 @@ Status Broker::JoinGroup(const std::string& group, const std::string& topic,
 
 Status Broker::LeaveGroup(const std::string& group, const std::string& topic,
                           const std::string& member) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(groups_mu_);
   auto it = groups_.find(GroupKey(group, topic));
   if (it == groups_.end()) return Status::NotFound("no such group");
   auto& members = it->second.members;
@@ -227,34 +235,33 @@ Status Broker::LeaveGroup(const std::string& group, const std::string& topic,
 Result<std::vector<int32_t>> Broker::GetAssignment(const std::string& group,
                                                    const std::string& topic,
                                                    const std::string& member) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto git = groups_.find(GroupKey(group, topic));
-  if (git == groups_.end()) return Status::NotFound("no such group");
-  const auto& members = git->second.members;
-  auto pos = std::find(members.begin(), members.end(), member);
-  if (pos == members.end()) return Status::NotFound("member not in group");
-  auto tit = topics_.find(topic);
-  if (tit == topics_.end()) return Status::NotFound("no topic: " + topic);
-  int32_t num_partitions = static_cast<int32_t>(tit->second->partitions.size());
-  int32_t member_index = static_cast<int32_t>(pos - members.begin());
-  int32_t num_members = static_cast<int32_t>(members.size());
-  // Range assignment: partition p goes to member (p % num_members).
-  std::vector<int32_t> assigned;
-  for (int32_t p = 0; p < num_partitions; ++p) {
-    if (p % num_members == member_index) assigned.push_back(p);
+  int32_t member_index = -1;
+  int32_t num_members = 0;
+  {
+    std::lock_guard<std::mutex> lock(groups_mu_);
+    auto git = groups_.find(GroupKey(group, topic));
+    if (git == groups_.end()) return Status::NotFound("no such group");
+    const auto& members = git->second.members;
+    auto pos = std::find(members.begin(), members.end(), member);
+    if (pos == members.end()) return Status::NotFound("member not in group");
+    member_index = static_cast<int32_t>(pos - members.begin());
+    num_members = static_cast<int32_t>(members.size());
   }
-  return assigned;
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
+  if (!found.ok()) return found.status();
+  int32_t num_partitions = static_cast<int32_t>(found.value()->partitions.size());
+  return RangeAssignment(num_partitions, num_members, member_index);
 }
 
 int64_t Broker::GroupGeneration(const std::string& group, const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(groups_mu_);
   auto it = groups_.find(GroupKey(group, topic));
   return it == groups_.end() ? 0 : it->second.generation;
 }
 
 Status Broker::CommitOffset(const std::string& group, const std::string& topic,
                             int32_t partition, int64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(offsets_mu_);
   committed_[OffsetKey(group, topic, partition)] = offset;
   return Status::Ok();
 }
@@ -262,7 +269,7 @@ Status Broker::CommitOffset(const std::string& group, const std::string& topic,
 Result<int64_t> Broker::CommittedOffset(const std::string& group,
                                         const std::string& topic,
                                         int32_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(offsets_mu_);
   auto it = committed_.find(OffsetKey(group, topic, partition));
   if (it == committed_.end()) return Status::NotFound("no committed offset");
   return it->second;
@@ -270,11 +277,11 @@ Result<int64_t> Broker::CommittedOffset(const std::string& group,
 
 Result<int64_t> Broker::ConsumerLag(const std::string& group,
                                     const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Topic*> found = FindTopic(topic);
+  Result<std::shared_ptr<Topic>> found = FindTopic(topic);
   if (!found.ok()) return found.status();
-  Topic* t = found.value();
+  std::shared_ptr<Topic> t = std::move(found.value());
   int64_t lag = 0;
+  std::lock_guard<std::mutex> lock(offsets_mu_);
   for (size_t p = 0; p < t->partitions.size(); ++p) {
     int64_t end = t->partitions[p]->EndOffset();
     int64_t committed = t->partitions[p]->BeginOffset();
@@ -286,34 +293,31 @@ Result<int64_t> Broker::ConsumerLag(const std::string& group,
 }
 
 int64_t Broker::ApplyRetention() {
-  std::vector<std::pair<Topic*, RetentionPolicy>> work;
+  std::vector<std::shared_ptr<Topic>> work;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [name, topic] : topics_) {
-      work.emplace_back(topic.get(), topic->config.retention);
-    }
+    std::lock_guard<std::mutex> lock(topics_mu_);
+    work.reserve(topics_.size());
+    for (auto& [name, topic] : topics_) work.push_back(topic);
   }
   int64_t dropped = 0;
   TimestampMs now = clock_->NowMs();
-  for (auto& [topic, policy] : work) {
+  for (const std::shared_ptr<Topic>& topic : work) {
     for (auto& partition : topic->partitions) {
-      dropped += partition->ApplyRetention(policy, now);
+      dropped += partition->ApplyRetention(topic->config.retention, now);
     }
   }
   if (dropped > 0) {
-    metrics_.GetCounter("broker." + name_ + ".retention_dropped")->Increment(dropped);
+    retention_dropped_counter_->Increment(dropped);
   }
   return dropped;
 }
 
 void Broker::SetAvailable(bool available) {
-  std::lock_guard<std::mutex> lock(mu_);
-  available_ = available;
+  available_.store(available, std::memory_order_release);
 }
 
 bool Broker::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return available_;
+  return available_.load(std::memory_order_acquire);
 }
 
 }  // namespace uberrt::stream

@@ -38,7 +38,19 @@ struct BrokerOptions {
 
 /// One physical Kafka-like cluster: topics of partitioned append-only logs,
 /// producer acks, consumer-group coordination with committed offsets, and
-/// retention enforcement. Thread-safe.
+/// retention enforcement.
+///
+/// Thread-safe: every public method may be called concurrently with every
+/// other, including DeleteTopic and SetAvailable racing in-flight
+/// produce/fetch traffic. Topics are `shared_ptr`-owned — an operation takes
+/// a reference under the topic-map lock and keeps the topic (and its
+/// partition logs) alive for the duration of the call, so a concurrent
+/// DeleteTopic never invalidates data another thread is touching; the topic
+/// is destroyed when the last in-flight operation drops its reference. Three
+/// independent locks (topic map, group map, committed-offset map) keep
+/// produce/fetch on different topics and group coordination from
+/// serializing on one broker-wide mutex; see DESIGN.md "Threading model"
+/// for the lock ordering rules.
 class Broker : public MessageBus {
  public:
   explicit Broker(std::string name, BrokerOptions options = {},
@@ -50,6 +62,8 @@ class Broker : public MessageBus {
   // --- Topic management -------------------------------------------------
 
   Status CreateTopic(const std::string& topic, TopicConfig config) override;
+  /// Removes the topic from the map. In-flight operations that already hold
+  /// a reference finish against the orphaned logs; new calls get NotFound.
   Status DeleteTopic(const std::string& topic);
   bool HasTopic(const std::string& topic) const override;
   Result<TopicConfig> GetTopicConfig(const std::string& topic) const;
@@ -60,6 +74,8 @@ class Broker : public MessageBus {
 
   /// Appends a message. The partition is `message.partition` when >= 0,
   /// otherwise derived from the key hash, otherwise round-robin.
+  /// A missing topic is NotFound even while the cluster is unavailable, so
+  /// retry logic never spins on a topic that will never exist.
   Result<ProduceResult> Produce(const std::string& topic, Message message,
                                 AckMode ack = AckMode::kLeader) override;
 
@@ -79,8 +95,10 @@ class Broker : public MessageBus {
                    const std::string& member) override;
   Status LeaveGroup(const std::string& group, const std::string& topic,
                     const std::string& member) override;
-  /// Range assignment of the topic's partitions for this member. Bumps with
-  /// every membership change; poll loops re-read it each cycle.
+  /// Range assignment of the topic's partitions for this member: partitions
+  /// are split into contiguous blocks, one block per member in sorted member
+  /// order (Kafka's default strategy). Bumps with every membership change;
+  /// poll loops re-read it each cycle.
   Result<std::vector<int32_t>> GetAssignment(const std::string& group,
                                              const std::string& topic,
                                              const std::string& member) const override;
@@ -108,6 +126,9 @@ class Broker : public MessageBus {
   MetricsRegistry* metrics() { return &metrics_; }
 
  private:
+  /// Immutable shape after creation: `config` and the `partitions` vector
+  /// never change (PartitionLog is internally synchronized), so holders of a
+  /// shared_ptr<Topic> may read them without any broker lock.
   struct Topic {
     TopicConfig config;
     std::vector<std::unique_ptr<PartitionLog>> partitions;
@@ -118,20 +139,31 @@ class Broker : public MessageBus {
     int64_t generation = 0;
   };
 
-  Result<Topic*> FindTopic(const std::string& topic) const;
+  /// Looks up the topic under `topics_mu_` and returns an owning reference.
+  Result<std::shared_ptr<Topic>> FindTopic(const std::string& topic) const;
   void SpinCoordinationWork(AckMode ack) const;
 
   std::string name_;
   BrokerOptions options_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  // Lock order (when nesting is unavoidable): topics_mu_ -> groups_mu_ ->
+  // offsets_mu_. Current code never holds two at once; broker calls into
+  // PartitionLog (its own mutex) only after releasing broker locks or from
+  // an owned shared_ptr.
+  mutable std::mutex topics_mu_;   // guards topics_ (the map, not the Topics)
+  std::map<std::string, std::shared_ptr<Topic>> topics_;
+  mutable std::mutex groups_mu_;   // guards groups_
   // keyed by group + '\0' + topic
   std::map<std::string, Group> groups_;
+  mutable std::mutex offsets_mu_;  // guards committed_
   std::map<std::string, int64_t> committed_;  // group\0topic\0partition -> offset
-  bool available_ = true;
+  std::atomic<bool> available_{true};
   mutable MetricsRegistry metrics_;
+  // Hot-path counters resolved once; MetricsRegistry pointers are stable.
+  Counter* produced_counter_;
+  Counter* dropped_counter_;
+  Counter* retention_dropped_counter_;
 };
 
 }  // namespace uberrt::stream

@@ -16,6 +16,7 @@ ConsumerProxy::ConsumerProxy(MessageBus* bus, std::string topic, std::string gro
 ConsumerProxy::~ConsumerProxy() { Stop(); }
 
 Status ConsumerProxy::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (running_.load()) return Status::FailedPrecondition("already running");
   UBERRT_RETURN_IF_ERROR(dlq_.EnsureTopics(topic_));
   consumer_ = std::make_unique<Consumer>(bus_, group_, topic_, group_ + "-proxy");
@@ -30,6 +31,7 @@ Status ConsumerProxy::Start() {
 }
 
 void ConsumerProxy::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (!running_.exchange(false)) return;
   if (poller_.joinable()) poller_.join();
   queue_->Close();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,6 +55,8 @@ class ConsumerProxy {
   ConsumerProxy& operator=(const ConsumerProxy&) = delete;
 
   /// Creates side topics, subscribes and starts the poller + worker pool.
+  /// Serialized against Stop(): concurrent Start/Stop calls from different
+  /// threads are safe and see a consistent running state.
   Status Start();
 
   /// Drains in-flight work, commits progress and stops all threads.
@@ -81,6 +84,9 @@ class ConsumerProxy {
   ConsumerProxyOptions options_;
   DlqManager dlq_;
 
+  // Serializes Start/Stop so two threads cannot race the thread-pool and
+  // queue setup/teardown; never held by the poller or workers.
+  std::mutex lifecycle_mu_;
   std::unique_ptr<Consumer> consumer_;
   std::unique_ptr<BoundedQueue<Message>> queue_;
   std::vector<std::thread> workers_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stream/assignment.h"
+
 namespace uberrt::stream {
 
 namespace {
@@ -31,11 +33,12 @@ Status KafkaFederation::AddCluster(std::unique_ptr<Broker> cluster,
   return Status::Ok();
 }
 
-Result<Broker*> KafkaFederation::GetCluster(const std::string& name) const {
+Result<std::shared_ptr<Broker>> KafkaFederation::GetCluster(
+    const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = clusters_.find(name);
   if (it == clusters_.end()) return Status::NotFound("no cluster: " + name);
-  return it->second.broker.get();
+  return it->second.broker;
 }
 
 std::vector<std::string> KafkaFederation::ListClusters() const {
@@ -65,15 +68,16 @@ Result<KafkaFederation::ClusterEntry*> KafkaFederation::PickClusterLocked() {
   return best;
 }
 
-Result<Broker*> KafkaFederation::RouteLocked(const std::string& topic) const {
+Result<std::shared_ptr<Broker>> KafkaFederation::RouteLocked(
+    const std::string& topic) const {
   auto it = topic_to_cluster_.find(topic);
   if (it == topic_to_cluster_.end()) return Status::NotFound("no topic: " + topic);
   auto cit = clusters_.find(it->second);
   if (cit == clusters_.end()) return Status::Internal("dangling cluster route");
-  return cit->second.broker.get();
+  return cit->second.broker;
 }
 
-Result<Broker*> KafkaFederation::Route(const std::string& topic) const {
+Result<std::shared_ptr<Broker>> KafkaFederation::Route(const std::string& topic) const {
   std::lock_guard<std::mutex> lock(mu_);
   return RouteLocked(topic);
 }
@@ -99,21 +103,21 @@ bool KafkaFederation::HasTopic(const std::string& topic) const {
 }
 
 Result<int32_t> KafkaFederation::NumPartitions(const std::string& topic) const {
-  Result<Broker*> broker = Route(topic);
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
   if (!broker.ok()) return broker.status();
   return broker.value()->NumPartitions(topic);
 }
 
 Result<ProduceResult> KafkaFederation::Produce(const std::string& topic,
                                                Message message, AckMode ack) {
-  Result<Broker*> broker = Route(topic);
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
   if (!broker.ok()) return broker.status();
   Result<ProduceResult> result = broker.value()->Produce(topic, message, ack);
   if (result.ok() || !result.status().IsUnavailable()) return result;
   // Hosting cluster is down: fail the topic over to a healthy cluster and
   // retry once. This is the availability improvement of federation.
   UBERRT_RETURN_IF_ERROR(FailoverTopic(topic));
-  Result<Broker*> rerouted = Route(topic);
+  Result<std::shared_ptr<Broker>> rerouted = Route(topic);
   if (!rerouted.ok()) return rerouted.status();
   metrics_.GetCounter("federation.failover_produces")->Increment();
   return rerouted.value()->Produce(topic, std::move(message), ack);
@@ -122,33 +126,33 @@ Result<ProduceResult> KafkaFederation::Produce(const std::string& topic,
 Result<std::vector<Message>> KafkaFederation::Fetch(const std::string& topic,
                                                     int32_t partition, int64_t offset,
                                                     size_t max_messages) const {
-  Result<Broker*> broker = Route(topic);
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
   if (!broker.ok()) return broker.status();
   return broker.value()->Fetch(topic, partition, offset, max_messages);
 }
 
 Result<int64_t> KafkaFederation::BeginOffset(const std::string& topic,
                                              int32_t partition) const {
-  Result<Broker*> broker = Route(topic);
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
   if (!broker.ok()) return broker.status();
   return broker.value()->BeginOffset(topic, partition);
 }
 
 Result<int64_t> KafkaFederation::EndOffset(const std::string& topic,
                                            int32_t partition) const {
-  Result<Broker*> broker = Route(topic);
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
   if (!broker.ok()) return broker.status();
   return broker.value()->EndOffset(topic, partition);
 }
 
 Status KafkaFederation::MigrateTopic(const std::string& topic,
                                      const std::string& target_cluster) {
-  Broker* source = nullptr;
-  Broker* target = nullptr;
+  std::shared_ptr<Broker> source;
+  std::shared_ptr<Broker> target;
   TopicConfig config;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Result<Broker*> src = RouteLocked(topic);
+    Result<std::shared_ptr<Broker>> src = RouteLocked(topic);
     if (!src.ok()) return src.status();
     source = src.value();
     if (source->name() == target_cluster) {
@@ -159,7 +163,7 @@ Status KafkaFederation::MigrateTopic(const std::string& topic,
     if (cit->second.hosted_topics >= cit->second.topic_capacity) {
       return Status::ResourceExhausted("target cluster full");
     }
-    target = cit->second.broker.get();
+    target = cit->second.broker;
     config = topic_configs_[topic];
   }
   // Copy data preserving partition/offset so consumer positions stay valid.
@@ -258,11 +262,7 @@ Result<std::vector<int32_t>> KafkaFederation::GetAssignment(
   if (pos == members.end()) return Status::NotFound("member not in group");
   int32_t member_index = static_cast<int32_t>(pos - members.begin());
   int32_t num_members = static_cast<int32_t>(members.size());
-  std::vector<int32_t> assigned;
-  for (int32_t p = 0; p < num_partitions; ++p) {
-    if (p % num_members == member_index) assigned.push_back(p);
-  }
-  return assigned;
+  return RangeAssignment(num_partitions, num_members, member_index);
 }
 
 int64_t KafkaFederation::GroupGeneration(const std::string& group,
@@ -290,7 +290,7 @@ Result<int64_t> KafkaFederation::CommittedOffset(const std::string& group,
 
 Result<int64_t> KafkaFederation::ConsumerLag(const std::string& group,
                                              const std::string& topic) const {
-  Result<Broker*> broker = Route(topic);
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
   if (!broker.ok()) return broker.status();
   Result<int32_t> partitions = broker.value()->NumPartitions(topic);
   if (!partitions.ok()) return partitions.status();

@@ -40,7 +40,9 @@ class KafkaFederation : public MessageBus {
   Status AddCluster(std::unique_ptr<Broker> cluster, int32_t topic_capacity);
 
   /// Direct access to a physical cluster (for failure injection in tests).
-  Result<Broker*> GetCluster(const std::string& name) const;
+  /// Returns an owning reference so the caller can never observe a dangling
+  /// broker, mirroring the Broker topic-lifetime rule.
+  Result<std::shared_ptr<Broker>> GetCluster(const std::string& name) const;
   std::vector<std::string> ListClusters() const;
 
   /// Name of the physical cluster currently hosting a topic.
@@ -81,7 +83,7 @@ class KafkaFederation : public MessageBus {
 
  private:
   struct ClusterEntry {
-    std::unique_ptr<Broker> broker;
+    std::shared_ptr<Broker> broker;
     int32_t topic_capacity = 0;
     int32_t hosted_topics = 0;
   };
@@ -93,8 +95,12 @@ class KafkaFederation : public MessageBus {
   /// Healthy cluster with spare capacity hosting the fewest topics, or
   /// ResourceExhausted.
   Result<ClusterEntry*> PickClusterLocked();
-  Result<Broker*> RouteLocked(const std::string& topic) const;
-  Result<Broker*> Route(const std::string& topic) const;
+  /// Owning reference to the hosting broker; safe to use after `mu_` is
+  /// released even if the topic is concurrently migrated or failed over
+  /// (clients then retry against the re-read route, as real Kafka clients
+  /// refresh metadata).
+  Result<std::shared_ptr<Broker>> RouteLocked(const std::string& topic) const;
+  Result<std::shared_ptr<Broker>> Route(const std::string& topic) const;
 
   mutable std::mutex mu_;
   std::map<std::string, ClusterEntry> clusters_;

@@ -155,7 +155,7 @@ Result<int64_t> UReplicator::RemoveWorker(int32_t worker_id) {
       }
     }
   }
-  partitions_moved_total_ += moved;
+  partitions_moved_total_.fetch_add(moved, std::memory_order_relaxed);
   return moved;
 }
 
@@ -182,7 +182,7 @@ Result<int64_t> UReplicator::AddWorker() {
       }
     }
   }
-  partitions_moved_total_ += moved;
+  partitions_moved_total_.fetch_add(moved, std::memory_order_relaxed);
   return moved;
 }
 
@@ -214,7 +214,7 @@ void UReplicator::RedistributeBurstsLocked() {
         --burst_count[it->second.owner];
         ++burst_count[standby];
         it->second.owner = standby;
-        ++partitions_moved_total_;
+        partitions_moved_total_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
     }

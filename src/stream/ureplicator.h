@@ -1,6 +1,7 @@
 #ifndef UBERRT_STREAM_UREPLICATOR_H_
 #define UBERRT_STREAM_UREPLICATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -111,6 +112,10 @@ class UReplicator {
   /// Replicates from `source` to `destination` (topics keep their names and
   /// partition counts). `route` names this replication path in the offset
   /// mapping store. `mapping_store` may be null when offset sync is unused.
+  /// The brokers and store are borrowed, not owned: the caller must keep
+  /// them alive for the replicator's lifetime (they are held as raw
+  /// pointers). Individual broker calls are safe against concurrent topic
+  /// churn on the brokers themselves (shared_ptr topic ownership).
   UReplicator(Broker* source, Broker* destination, std::string route,
               OffsetMappingStore* mapping_store,
               UReplicatorOptions options = UReplicatorOptions());
@@ -141,7 +146,9 @@ class UReplicator {
   /// Active (non-standby) worker ids currently alive.
   std::vector<int32_t> ActiveWorkers() const;
 
-  int64_t partitions_moved_total() const { return partitions_moved_total_; }
+  int64_t partitions_moved_total() const {
+    return partitions_moved_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PartitionState {
@@ -165,7 +172,9 @@ class UReplicator {
   std::set<int32_t> standby_workers_;
   int32_t next_worker_id_ = 0;
   std::map<TopicPartition, PartitionState> partitions_;
-  int64_t partitions_moved_total_ = 0;
+  // Atomic: read by the accessor without taking mu_ while RunOnce/rebalance
+  // threads bump it under the lock.
+  std::atomic<int64_t> partitions_moved_total_{0};
 };
 
 }  // namespace uberrt::stream

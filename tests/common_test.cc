@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "common/clock.h"
@@ -170,6 +171,54 @@ TEST(MetricsTest, CountersGaugesHistograms) {
   auto snapshot = registry.SnapshotValues();
   EXPECT_EQ(snapshot["c"], 4);
   EXPECT_EQ(snapshot["g"], 7);
+}
+
+TEST(MetricsTest, HistogramSortCacheInvalidatedByRecord) {
+  // Regression for the lazily-sorted percentile cache: queries between
+  // records reuse one sort, and a new Record must invalidate the cache so
+  // later queries see the fresh sample (interleaved query/record pattern).
+  Histogram h;
+  h.Record(10);
+  h.Record(30);
+  EXPECT_EQ(h.Percentile(0), 10);
+  EXPECT_EQ(h.Percentile(100), 30);
+  h.Record(20);  // lands in the middle after the cache was built
+  EXPECT_EQ(h.Percentile(50), 20);
+  EXPECT_EQ(h.Max(), 30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  h.Record(5);  // new minimum after another query round
+  EXPECT_EQ(h.Percentile(0), 5);
+  EXPECT_EQ(h.Max(), 30);
+  h.Reset();
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+  h.Record(-7);  // negative samples: max must track the first sample
+  EXPECT_EQ(h.Max(), -7);
+  EXPECT_EQ(h.Percentile(100), -7);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecordAndQuery) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    int64_t i = 0;
+    while (!stop.load()) h.Record(i++ % 1000);
+  });
+  std::thread querier([&] {
+    while (!stop.load()) {
+      int64_t p50 = h.Percentile(50);
+      EXPECT_GE(p50, 0);
+      EXPECT_LE(h.Percentile(99), 999);
+      EXPECT_GE(h.Max(), p50);
+    }
+  });
+  SystemClock::Instance()->SleepMs(100);
+  stop.store(true);
+  recorder.join();
+  querier.join();
+  EXPECT_GT(h.Count(), 0u);
 }
 
 TEST(HashTest, StablePartitioning) {

@@ -122,6 +122,42 @@ TEST_F(BrokerTest, UnavailableClusterBehaviour) {
   EXPECT_EQ(broker_->EndOffset("surge", 0).value(), 0);
 }
 
+TEST_F(BrokerTest, MissingTopicIsNotFoundEvenWhenUnavailable) {
+  // Regression: an unavailable cluster used to answer Unavailable for every
+  // produce, including topics that do not exist — so federation retry logic
+  // would retry forever against a topic that will never exist. Existence is
+  // checked first now.
+  broker_->SetAvailable(false);
+  EXPECT_TRUE(broker_->Produce("ghost", Msg("k", "v")).status().IsNotFound());
+  EXPECT_TRUE(broker_->Fetch("ghost", 0, 0, 1).status().IsNotFound());
+  EXPECT_TRUE(broker_->Replicate("ghost", Msg("k", "v")).IsNotFound());
+  // Existing topics keep the availability semantics.
+  EXPECT_TRUE(broker_->Produce("t", Msg("k", "v")).status().IsUnavailable());
+  broker_->SetAvailable(true);
+  EXPECT_TRUE(broker_->Produce("ghost", Msg("k", "v")).status().IsNotFound());
+}
+
+TEST_F(BrokerTest, RangeAssignmentIsContiguousAndBalanced) {
+  // Kafka's range strategy: contiguous blocks in sorted-member order, the
+  // first (partitions % members) members take one extra partition.
+  ASSERT_TRUE(broker_->JoinGroup("g", "t", "a").ok());
+  ASSERT_TRUE(broker_->JoinGroup("g", "t", "b").ok());
+  ASSERT_TRUE(broker_->JoinGroup("g", "t", "c").ok());
+  // 4 partitions, 3 members: a=[0,1], b=[2], c=[3].
+  EXPECT_EQ(broker_->GetAssignment("g", "t", "a").value(),
+            (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(broker_->GetAssignment("g", "t", "b").value(),
+            (std::vector<int32_t>{2}));
+  EXPECT_EQ(broker_->GetAssignment("g", "t", "c").value(),
+            (std::vector<int32_t>{3}));
+  ASSERT_TRUE(broker_->LeaveGroup("g", "t", "b").ok());
+  // 4 partitions, 2 members: contiguous halves.
+  EXPECT_EQ(broker_->GetAssignment("g", "t", "a").value(),
+            (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(broker_->GetAssignment("g", "t", "c").value(),
+            (std::vector<int32_t>{2, 3}));
+}
+
 TEST_F(BrokerTest, ConsumerGroupAssignmentCoversAllPartitions) {
   ASSERT_TRUE(broker_->JoinGroup("g", "t", "m1").ok());
   ASSERT_TRUE(broker_->JoinGroup("g", "t", "m2").ok());
