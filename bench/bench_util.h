@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace uberrt::bench {
@@ -34,6 +36,64 @@ inline void Header(const std::string& id, const std::string& title,
 }
 
 inline void Note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+/// Machine-readable bench record, written as BENCH_<id>.json in the working
+/// directory so CI (ci.sh) can archive measured values next to the paper's
+/// claims. Always records the core count: ratio-style claims (e.g. parallel
+/// speedup) are only meaningful relative to the hardware they ran on.
+class JsonReport {
+ public:
+  JsonReport(std::string id, std::string claim)
+      : id_(std::move(id)), claim_(std::move(claim)) {}
+
+  void Metric(const std::string& name, double value) {
+    numbers_.emplace_back(name, value);
+  }
+  void Metric(const std::string& name, const std::string& value) {
+    strings_.emplace_back(name, value);
+  }
+
+  /// Writes BENCH_<id>.json. Best-effort: an unwritable directory only
+  /// loses the file, never the bench run.
+  void Write() const {
+    std::string path = "BENCH_" + id_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"id\": \"%s\",\n  \"claim\": \"%s\",\n  \"cores\": %u",
+                 Escape(id_).c_str(), Escape(claim_).c_str(),
+                 std::thread::hardware_concurrency());
+    for (const auto& [name, value] : numbers_) {
+      std::fprintf(f, ",\n  \"%s\": %.6g", Escape(name).c_str(), value);
+    }
+    for (const auto& [name, value] : strings_) {
+      std::fprintf(f, ",\n  \"%s\": \"%s\"", Escape(name).c_str(),
+                   Escape(value).c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string id_;
+  std::string claim_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+};
 
 }  // namespace uberrt::bench
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate, in two stages:
+#   1. tier-1: plain build + the full ctest suite (must stay green).
+#   2. sanitizers: the concurrency stress suites under AddressSanitizer and
+#      ThreadSanitizer — the enforcement mechanism for the lifetime and lock
+#      rules in DESIGN.md §5 (broker topic ownership, OLAP table ownership,
+#      the shared executor / cooperative JobRunner).
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: plain build + full test suite =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+CONCURRENCY_SUITES="common_executor_test|stream_broker_concurrency_test|olap_cluster_concurrency_test"
+for SAN in address thread; do
+  echo "== sanitizer gate: ${SAN} =="
+  cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
+  cmake --build "build-${SAN}" -j --target \
+    common_executor_test stream_broker_concurrency_test olap_cluster_concurrency_test
+  ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
+done
+
+echo "CI OK"

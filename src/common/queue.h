@@ -48,6 +48,18 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push that leaves `item` intact on failure, so callers can
+  /// stash it and retry later (cooperative backpressure without losing the
+  /// element the way TryPush-by-value would).
+  bool TryPushRef(T& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (capacity_ != 0 && items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);

@@ -72,8 +72,11 @@ Result<std::string> JobManager::Submit(const JobGraph& graph,
   job->id = graph.name() + "-" + std::to_string(next_id_++);
   job->graph = graph.WithName(job->id);  // checkpoint namespace per managed job
   job->runner_options = runner_options;
+  if (job->runner_options.executor == nullptr) {
+    job->runner_options.executor = options_.default_executor;
+  }
   job->parallelism = graph.transforms().empty() ? 1 : graph.transforms()[0].parallelism;
-  job->runner = std::make_unique<JobRunner>(job->graph, bus_, store_, runner_options);
+  job->runner = std::make_unique<JobRunner>(job->graph, bus_, store_, job->runner_options);
   UBERRT_RETURN_IF_ERROR(job->runner->Start());
   std::string id = job->id;
   jobs_.emplace(id, std::move(job));

@@ -41,6 +41,10 @@ struct JobManagerOptions {
   int32_t max_parallelism = 8;
   /// Periodic checkpoint cadence, counted in Tick() calls.
   int64_t checkpoint_every_ticks = 1;
+  /// Pool handed to every runner whose own options leave `executor` unset —
+  /// how the platform shares one process-wide pool across all jobs. nullptr
+  /// lets each runner create its private pool.
+  common::Executor* default_executor = nullptr;
 };
 
 /// The job management layer of the unified Flink platform (Section 4.2.2,

@@ -10,6 +10,10 @@ namespace uberrt::compute {
 
 namespace {
 
+/// Elements one instance task processes before rescheduling itself, so a
+/// small pool round-robins fairly across a wide pipeline.
+constexpr int kInstanceTaskBudget = 128;
+
 /// Terminal stage: delivers rows to the configured sink.
 class SinkOperator : public OperatorInstance {
  public:
@@ -40,9 +44,16 @@ class SinkOperator : public OperatorInstance {
 
 struct JobRunner::Wiring {
   std::vector<BoundedQueue<Element>*> queues;
+  std::vector<Instance*> targets;  ///< parallel to queues, for wakeups
   bool keyed = false;
   std::vector<int> key_indices[2];  ///< per input side (joins); [0] otherwise
   std::atomic<uint64_t> round_robin{0};
+};
+
+struct JobRunner::PendingPush {
+  Element element;
+  Wiring* wiring = nullptr;
+  size_t target = 0;
 };
 
 struct JobRunner::Instance {
@@ -56,6 +67,18 @@ struct JobRunner::Instance {
   std::atomic<int64_t> state_bytes{0};
   std::atomic<int64_t> peak_state_bytes{0};
   std::atomic<int64_t> late_dropped{0};
+
+  /// True while a pool task is queued or running for this instance. The
+  /// clear-then-recheck protocol in RunInstance/WakeInstance guarantees at
+  /// most one task at a time and no lost wakeups, which also makes the
+  /// fields below single-writer (the current task) without locks.
+  std::atomic<bool> scheduled{false};
+  std::atomic<bool> exited{false};
+  bool exiting = false;  ///< final End seen; draining stash before exit
+  std::vector<TimestampMs> upstream_wm;
+  int ends_remaining = 0;
+  TimestampMs aligned = INT64_MIN;
+  std::deque<PendingPush> stash;  ///< output backpressure, owner-task only
 };
 
 struct JobRunner::SourceState {
@@ -69,6 +92,12 @@ struct JobRunner::SourceState {
   int64_t records_since_watermark = 0;
   std::atomic<bool> busy{false};
   std::atomic<bool> done{false};
+
+  // Owner-task-only fields (one poll task at a time, self-rescheduled).
+  bool finishing = false;
+  bool final_sent = false;  ///< terminal watermark+End broadcast issued
+  std::vector<int64_t> end_targets;
+  std::deque<PendingPush> stash;
 
   /// Watermark base: min event time over partitions. A partition with no
   /// samples yet holds the watermark back (returns INT64_MIN) if it still
@@ -93,24 +122,27 @@ struct JobRunner::SourceState {
 
 namespace {
 
-/// Emitter bound to one instance: routes records into the next stage.
+/// Emitter bound to one instance: routes records into the next stage
+/// through the instance's own stash (never blocks the pool thread).
 class RunnerEmitter : public Emitter {
  public:
   RunnerEmitter(JobRunner* runner, JobRunner::Instance* instance,
-                void (JobRunner::*dispatch)(Element, JobRunner::Wiring&))
+                void (JobRunner::*dispatch)(Element, JobRunner::Wiring&,
+                                            std::deque<JobRunner::PendingPush>*))
       : runner_(runner), instance_(instance), dispatch_(dispatch) {}
 
   void Emit(Row row, TimestampMs event_time) override {
     if (instance_->output == nullptr) return;
     Element element = Element::Record(std::move(row), event_time);
     element.from_channel = instance_->index;
-    (runner_->*dispatch_)(std::move(element), *instance_->output);
+    (runner_->*dispatch_)(std::move(element), *instance_->output, &instance_->stash);
   }
 
  private:
   JobRunner* runner_;
   JobRunner::Instance* instance_;
-  void (JobRunner::*dispatch_)(Element, JobRunner::Wiring&);
+  void (JobRunner::*dispatch_)(Element, JobRunner::Wiring&,
+                               std::deque<JobRunner::PendingPush>*);
 };
 
 }  // namespace
@@ -171,6 +203,8 @@ Status JobRunner::BuildTopology() {
       inst->queue = std::make_unique<BoundedQueue<Element>>(options_.channel_capacity);
       inst->num_upstream = num_upstream;
       inst->is_sink = is_sink;
+      inst->upstream_wm.assign(static_cast<size_t>(num_upstream), INT64_MIN);
+      inst->ends_remaining = num_upstream;
       if (is_sink) {
         inst->op = std::make_unique<SinkOperator>(graph_.sink(), bus_, &records_out_);
       } else {
@@ -192,7 +226,10 @@ Status JobRunner::BuildTopology() {
   // Wirings: wirings_[s] feeds stage s.
   for (size_t s = 0; s < num_stages; ++s) {
     auto wiring = std::make_unique<Wiring>();
-    for (auto& inst : stages_[s]) wiring->queues.push_back(inst->queue.get());
+    for (auto& inst : stages_[s]) {
+      wiring->queues.push_back(inst->queue.get());
+      wiring->targets.push_back(inst.get());
+    }
     if (s < transforms.size()) {
       const TransformSpec& t = transforms[s];
       if (t.kind == TransformSpec::Kind::kWindowAggregate) {
@@ -220,14 +257,19 @@ Status JobRunner::Start() {
   if (running_.load()) return Status::FailedPrecondition("already running");
   UBERRT_RETURN_IF_ERROR(graph_.Validate());
   UBERRT_RETURN_IF_ERROR(BuildTopology());
-  running_.store(true);
-  for (auto& stage : stages_) {
-    for (auto& inst : stage) {
-      threads_.emplace_back([this, instance = inst.get()] { InstanceLoop(instance); });
-    }
+  executor_ = options_.executor;
+  if (executor_ == nullptr) {
+    common::ExecutorOptions pool;
+    pool.num_threads = std::max<size_t>(1, options_.pool_threads);
+    pool.name = "executor.job." + graph_.name();
+    owned_executor_ = std::make_unique<common::Executor>(pool);
+    executor_ = owned_executor_.get();
   }
+  running_.store(true);
   for (size_t si = 0; si < source_states_.size(); ++si) {
-    threads_.emplace_back([this, si] { SourceLoop(si); });
+    if (!SubmitTask([this, si] { RunSource(si); })) {
+      source_states_[si]->done.store(true);
+    }
   }
   return Status::Ok();
 }
@@ -243,7 +285,50 @@ Status JobRunner::RestoreFromCheckpoint(int64_t sequence) {
   return Status::Ok();
 }
 
-void JobRunner::Dispatch(Element element, Wiring& wiring) {
+bool JobRunner::SubmitTask(std::function<void()> fn) {
+  tasks_wg_.Add(1);
+  bool ok = executor_->Submit([this, fn = std::move(fn)] {
+    fn();
+    tasks_wg_.Done();
+  });
+  if (!ok) tasks_wg_.Done();
+  return ok;
+}
+
+void JobRunner::WakeInstance(Instance* instance) {
+  if (instance->exited.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!instance->scheduled.compare_exchange_strong(expected, true,
+                                                   std::memory_order_acq_rel)) {
+    return;  // a task is queued/running; it rechecks the queue before idling
+  }
+  if (!SubmitTask([this, instance] { RunInstance(instance); })) {
+    instance->scheduled.store(false, std::memory_order_release);
+  }
+}
+
+bool JobRunner::FlushStash(std::deque<PendingPush>& stash) {
+  while (!stash.empty()) {
+    PendingPush& pending = stash.front();
+    BoundedQueue<Element>* queue = pending.wiring->queues[pending.target];
+    if (queue->TryPushRef(pending.element)) {
+      WakeInstance(pending.wiring->targets[pending.target]);
+      stash.pop_front();
+      continue;
+    }
+    if (queue->closed()) {
+      // Cancelled under us: drop, as the blocking Push used to.
+      in_flight_.fetch_sub(1);
+      stash.pop_front();
+      continue;
+    }
+    return false;  // downstream still full
+  }
+  return true;
+}
+
+void JobRunner::Dispatch(Element element, Wiring& wiring,
+                         std::deque<PendingPush>* stash) {
   size_t n = wiring.queues.size();
   size_t target = 0;
   if (n > 1 || wiring.keyed) {
@@ -256,122 +341,183 @@ void JobRunner::Dispatch(Element element, Wiring& wiring) {
     }
   }
   in_flight_.fetch_add(1);
-  if (!wiring.queues[target]->Push(std::move(element))) {
+  // Per-queue FIFO from one producer must hold (watermarks may not overtake
+  // records), so while anything sits in the stash, everything new queues
+  // behind it.
+  if (!stash->empty()) {
+    FlushStash(*stash);
+    if (!stash->empty()) {
+      stash->push_back({std::move(element), &wiring, target});
+      return;
+    }
+  }
+  if (wiring.queues[target]->TryPushRef(element)) {
+    WakeInstance(wiring.targets[target]);
+    return;
+  }
+  if (wiring.queues[target]->closed()) {
     in_flight_.fetch_sub(1);  // queue closed during cancel
+    return;
   }
+  stash->push_back({std::move(element), &wiring, target});
 }
 
-void JobRunner::Broadcast(Element element, Wiring& wiring) {
-  for (BoundedQueue<Element>* queue : wiring.queues) {
+void JobRunner::Broadcast(Element element, Wiring& wiring,
+                          std::deque<PendingPush>* stash) {
+  for (size_t target = 0; target < wiring.queues.size(); ++target) {
+    Element copy = element;
     in_flight_.fetch_add(1);
-    if (!queue->Push(element)) in_flight_.fetch_sub(1);
-  }
-}
-
-void JobRunner::SourceLoop(size_t source_index) {
-  SourceState& src = *source_states_[source_index];
-  Wiring& out = *wirings_[0];
-  std::vector<int64_t> end_targets;
-  bool finishing = false;
-  while (!cancel_.load()) {
-    if (pause_sources_.load()) {
-      SystemClock::Instance()->SleepMs(1);
-      continue;
-    }
-    src.busy.store(true);
-    if (finish_requested_.load() && !finishing) {
-      finishing = true;
-      end_targets.resize(src.positions.size());
-      for (size_t p = 0; p < src.positions.size(); ++p) {
-        Result<int64_t> end = bus_->EndOffset(src.spec.topic, static_cast<int32_t>(p));
-        end_targets[p] = end.ok() ? end.value() : src.positions[p];
-      }
-    }
-    bool got_data = false;
-    for (size_t p = 0; p < src.positions.size() && !cancel_.load(); ++p) {
-      Result<std::vector<stream::Message>> batch =
-          bus_->Fetch(src.spec.topic, static_cast<int32_t>(p), src.positions[p],
-                      options_.source_poll_batch);
-      if (!batch.ok()) {
-        if (batch.status().code() == StatusCode::kOutOfRange) {
-          Result<int64_t> begin =
-              bus_->BeginOffset(src.spec.topic, static_cast<int32_t>(p));
-          if (begin.ok() && begin.value() > src.positions[p]) {
-            src.positions[p] = begin.value();
-          }
-        }
+    if (!stash->empty()) {
+      FlushStash(*stash);
+      if (!stash->empty()) {
+        stash->push_back({std::move(copy), &wiring, target});
         continue;
       }
-      for (stream::Message& m : batch.value()) {
-        got_data = true;
-        Result<Row> row = DecodeRow(m.value);
-        // Position advances only after the record is safely in the pipeline,
-        // so a checkpoint can never skip an unpushed record.
-        if (!row.ok()) {
-          decode_errors_.fetch_add(1);
-          src.positions[p] = m.offset + 1;
-          continue;
-        }
-        TimestampMs t = m.timestamp;
-        int tf = src.time_field_index;
-        if (tf >= 0 && tf < static_cast<int>(row.value().size()) &&
-            row.value()[static_cast<size_t>(tf)].type() == ValueType::kInt) {
-          t = row.value()[static_cast<size_t>(tf)].AsInt();
-        }
-        src.partition_max_event_time[p] =
-            std::max(src.partition_max_event_time[p], t);
-        records_in_.fetch_add(1);
-        Element element = Element::Record(std::move(row.value()), t,
-                                          static_cast<int32_t>(source_index));
-        element.from_channel = static_cast<int32_t>(source_index);
-        Dispatch(std::move(element), out);
-        src.positions[p] = m.offset + 1;
-        if (++src.records_since_watermark >= src.spec.watermark_interval_records) {
-          src.records_since_watermark = 0;
-          TimestampMs base = src.CurrentWatermarkBase(bus_);
-          if (base != INT64_MIN) {
-            Element wm = Element::Watermark(base - src.spec.out_of_orderness_ms);
-            wm.from_channel = static_cast<int32_t>(source_index);
-            Broadcast(std::move(wm), out);
-          }
-        }
-      }
     }
-    src.busy.store(false);
-    if (finishing) {
-      bool done = true;
-      for (size_t p = 0; p < src.positions.size(); ++p) {
-        if (src.positions[p] < end_targets[p]) {
-          done = false;
-          break;
-        }
-      }
-      if (done) {
-        Element wm = Element::Watermark(kMaxWatermark);
-        wm.from_channel = static_cast<int32_t>(source_index);
-        Broadcast(std::move(wm), out);
-        Element end = Element::End();
-        end.from_channel = static_cast<int32_t>(source_index);
-        Broadcast(std::move(end), out);
-        src.done.store(true);
-        return;
-      }
+    if (wiring.queues[target]->TryPushRef(copy)) {
+      WakeInstance(wiring.targets[target]);
+      continue;
     }
-    if (!got_data) SystemClock::Instance()->SleepMs(options_.source_idle_sleep_ms);
+    if (wiring.queues[target]->closed()) {
+      in_flight_.fetch_sub(1);
+      continue;
+    }
+    stash->push_back({std::move(copy), &wiring, target});
   }
-  src.done.store(true);
 }
 
-void JobRunner::InstanceLoop(Instance* instance) {
-  std::vector<TimestampMs> upstream_wm(static_cast<size_t>(instance->num_upstream),
-                                       INT64_MIN);
-  int ends_remaining = instance->num_upstream;
-  TimestampMs aligned = INT64_MIN;
-  RunnerEmitter emitter(this, instance, &JobRunner::Dispatch);
+void JobRunner::RunSource(size_t source_index) {
+  SourceState& src = *source_states_[source_index];
+  if (cancel_.load()) {
+    src.done.store(true);
+    return;
+  }
+  // busy is set before any position write and cleared after the last one, so
+  // WaitForQuiesce observing busy==false (after pausing) means no write is
+  // in progress and none will start until unpause.
+  src.busy.store(true);
+  Wiring& out = *wirings_[0];
 
+  bool flushed = FlushStash(src.stash);
+  if (src.final_sent) {
+    src.busy.store(false);
+    if (flushed) {
+      src.done.store(true);
+      return;
+    }
+    if (!SubmitTask([this, source_index] { RunSource(source_index); })) {
+      src.done.store(true);
+    }
+    return;
+  }
+  if (!flushed || pause_sources_.load()) {
+    // Backpressured or checkpoint-paused: yield. The pool's FIFO lets the
+    // downstream instance tasks (and the checkpointer) make progress.
+    src.busy.store(false);
+    SystemClock::Instance()->SleepMs(1);
+    if (cancel_.load() || !SubmitTask([this, source_index] { RunSource(source_index); })) {
+      src.done.store(true);
+    }
+    return;
+  }
+
+  if (finish_requested_.load() && !src.finishing) {
+    src.finishing = true;
+    src.end_targets.resize(src.positions.size());
+    for (size_t p = 0; p < src.positions.size(); ++p) {
+      Result<int64_t> end = bus_->EndOffset(src.spec.topic, static_cast<int32_t>(p));
+      src.end_targets[p] = end.ok() ? end.value() : src.positions[p];
+    }
+  }
+  bool got_data = false;
+  for (size_t p = 0; p < src.positions.size() && !cancel_.load(); ++p) {
+    if (!src.stash.empty()) break;  // downstream full: stop pulling more
+    Result<std::vector<stream::Message>> batch =
+        bus_->Fetch(src.spec.topic, static_cast<int32_t>(p), src.positions[p],
+                    options_.source_poll_batch);
+    if (!batch.ok()) {
+      if (batch.status().code() == StatusCode::kOutOfRange) {
+        Result<int64_t> begin =
+            bus_->BeginOffset(src.spec.topic, static_cast<int32_t>(p));
+        if (begin.ok() && begin.value() > src.positions[p]) {
+          src.positions[p] = begin.value();
+        }
+      }
+      continue;
+    }
+    for (stream::Message& m : batch.value()) {
+      got_data = true;
+      Result<Row> row = DecodeRow(m.value);
+      // Position advances only after the record is in the pipeline (queue or
+      // stash — both counted in_flight_), so a checkpoint can never skip an
+      // unpushed record.
+      if (!row.ok()) {
+        decode_errors_.fetch_add(1);
+        src.positions[p] = m.offset + 1;
+        continue;
+      }
+      TimestampMs t = m.timestamp;
+      int tf = src.time_field_index;
+      if (tf >= 0 && tf < static_cast<int>(row.value().size()) &&
+          row.value()[static_cast<size_t>(tf)].type() == ValueType::kInt) {
+        t = row.value()[static_cast<size_t>(tf)].AsInt();
+      }
+      src.partition_max_event_time[p] =
+          std::max(src.partition_max_event_time[p], t);
+      records_in_.fetch_add(1);
+      Element element = Element::Record(std::move(row.value()), t,
+                                        static_cast<int32_t>(source_index));
+      element.from_channel = static_cast<int32_t>(source_index);
+      Dispatch(std::move(element), out, &src.stash);
+      src.positions[p] = m.offset + 1;
+      if (++src.records_since_watermark >= src.spec.watermark_interval_records) {
+        src.records_since_watermark = 0;
+        TimestampMs base = src.CurrentWatermarkBase(bus_);
+        if (base != INT64_MIN) {
+          Element wm = Element::Watermark(base - src.spec.out_of_orderness_ms);
+          wm.from_channel = static_cast<int32_t>(source_index);
+          Broadcast(std::move(wm), out, &src.stash);
+        }
+      }
+    }
+  }
+  if (src.finishing) {
+    bool caught_up = true;
+    for (size_t p = 0; p < src.positions.size(); ++p) {
+      if (src.positions[p] < src.end_targets[p]) {
+        caught_up = false;
+        break;
+      }
+    }
+    if (caught_up) {
+      // Stash ordering keeps these behind any stashed records per queue.
+      Element wm = Element::Watermark(kMaxWatermark);
+      wm.from_channel = static_cast<int32_t>(source_index);
+      Broadcast(std::move(wm), out, &src.stash);
+      Element end = Element::End();
+      end.from_channel = static_cast<int32_t>(source_index);
+      Broadcast(std::move(end), out, &src.stash);
+      src.final_sent = true;
+      src.busy.store(false);
+      if (src.stash.empty() || cancel_.load() ||
+          !SubmitTask([this, source_index] { RunSource(source_index); })) {
+        src.done.store(true);
+      }
+      return;
+    }
+  }
+  src.busy.store(false);
+  if (!got_data) SystemClock::Instance()->SleepMs(options_.source_idle_sleep_ms);
+  if (cancel_.load() || !SubmitTask([this, source_index] { RunSource(source_index); })) {
+    src.done.store(true);
+  }
+}
+
+bool JobRunner::ProcessElement(Instance* instance, Element element) {
+  RunnerEmitter emitter(this, instance, &JobRunner::Dispatch);
   auto aligned_watermark = [&]() {
     TimestampMs min_wm = kMaxWatermark;
-    for (TimestampMs wm : upstream_wm) min_wm = std::min(min_wm, wm);
+    for (TimestampMs wm : instance->upstream_wm) min_wm = std::min(min_wm, wm);
     return min_wm;
   };
   auto update_state_gauges = [&] {
@@ -383,56 +529,115 @@ void JobRunner::InstanceLoop(Instance* instance) {
     instance->late_dropped.store(instance->op->late_dropped());
   };
 
-  while (true) {
-    std::optional<Element> element = instance->queue->Pop();
-    if (!element.has_value()) return;  // cancelled
-    switch (element->kind) {
-      case Element::Kind::kRecord:
-        instance->op->ProcessRecord(*element, &emitter);
+  switch (element.kind) {
+    case Element::Kind::kRecord:
+      instance->op->ProcessRecord(element, &emitter);
+      update_state_gauges();
+      break;
+    case Element::Kind::kWatermark: {
+      size_t ch = static_cast<size_t>(element.from_channel);
+      if (ch < instance->upstream_wm.size()) {
+        instance->upstream_wm[ch] =
+            std::max(instance->upstream_wm[ch], element.event_time);
+      }
+      TimestampMs min_wm = aligned_watermark();
+      if (min_wm > instance->aligned) {
+        instance->aligned = min_wm;
+        instance->op->OnWatermark(instance->aligned, &emitter);
         update_state_gauges();
-        break;
-      case Element::Kind::kWatermark: {
-        size_t ch = static_cast<size_t>(element->from_channel);
-        if (ch < upstream_wm.size()) {
-          upstream_wm[ch] = std::max(upstream_wm[ch], element->event_time);
+        if (instance->output != nullptr) {
+          Element forward = Element::Watermark(instance->aligned);
+          forward.from_channel = instance->index;
+          Broadcast(std::move(forward), *instance->output, &instance->stash);
         }
-        TimestampMs min_wm = aligned_watermark();
-        if (min_wm > aligned) {
-          aligned = min_wm;
-          instance->op->OnWatermark(aligned, &emitter);
-          update_state_gauges();
-          if (instance->output != nullptr) {
-            Element forward = Element::Watermark(aligned);
-            forward.from_channel = instance->index;
-            Broadcast(std::move(forward), *instance->output);
-          }
-        }
-        break;
       }
-      case Element::Kind::kEnd: {
-        size_t ch = static_cast<size_t>(element->from_channel);
-        if (ch < upstream_wm.size()) upstream_wm[ch] = kMaxWatermark;
-        --ends_remaining;
-        TimestampMs min_wm = aligned_watermark();
-        if (min_wm > aligned) {
-          aligned = min_wm;
-          instance->op->OnWatermark(aligned, &emitter);
-          update_state_gauges();
-        }
-        if (ends_remaining == 0) {
-          if (instance->output != nullptr) {
-            Element forward = Element::End();
-            forward.from_channel = instance->index;
-            Broadcast(std::move(forward), *instance->output);
-          }
-          if (instance->is_sink) finished_.store(true);
-          in_flight_.fetch_sub(1);
-          return;
-        }
-        break;
-      }
+      break;
     }
+    case Element::Kind::kEnd: {
+      size_t ch = static_cast<size_t>(element.from_channel);
+      if (ch < instance->upstream_wm.size()) {
+        instance->upstream_wm[ch] = kMaxWatermark;
+      }
+      --instance->ends_remaining;
+      TimestampMs min_wm = aligned_watermark();
+      if (min_wm > instance->aligned) {
+        instance->aligned = min_wm;
+        instance->op->OnWatermark(instance->aligned, &emitter);
+        update_state_gauges();
+      }
+      if (instance->ends_remaining == 0) {
+        if (instance->output != nullptr) {
+          Element forward = Element::End();
+          forward.from_channel = instance->index;
+          Broadcast(std::move(forward), *instance->output, &instance->stash);
+        }
+        return true;
+      }
+      break;
+    }
+  }
+  return false;
+}
+
+void JobRunner::RunInstance(Instance* instance) {
+  if (cancel_.load()) {
+    instance->exited.store(true, std::memory_order_release);
+    return;
+  }
+  auto resubmit = [this, instance] {
+    // scheduled_ stays true across the handoff so producers don't
+    // double-submit.
+    if (!SubmitTask([this, instance] { RunInstance(instance); })) {
+      instance->scheduled.store(false, std::memory_order_release);
+    }
+  };
+  if (instance->exiting) {
+    // Final End already processed: drain whatever that emitted, then leave
+    // for good (nothing more arrives after End). Never blocks a pool
+    // thread: if downstream is still full we yield and retry.
+    if (!FlushStash(instance->stash)) {
+      resubmit();
+      return;
+    }
+    if (instance->is_sink) finished_.store(true);
+    instance->exited.store(true, std::memory_order_release);
+    return;
+  }
+  int budget = kInstanceTaskBudget;
+  while (budget-- > 0) {
+    if (!FlushStash(instance->stash)) {
+      // Downstream full: yield; pool FIFO runs the downstream task first.
+      resubmit();
+      return;
+    }
+    std::optional<Element> element = instance->queue->TryPop();
+    if (!element.has_value()) break;
+    bool exited = ProcessElement(instance, std::move(*element));
     in_flight_.fetch_sub(1);
+    if (exited) {
+      instance->exiting = true;
+      if (!FlushStash(instance->stash)) {
+        resubmit();
+        return;
+      }
+      if (instance->is_sink) finished_.store(true);
+      instance->exited.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  if (!instance->stash.empty() || instance->queue->Size() > 0) {
+    resubmit();
+    return;
+  }
+  // Idle: clear the flag, then recheck — a producer that pushed between the
+  // TryPop miss and the clear would otherwise be lost.
+  instance->scheduled.store(false, std::memory_order_release);
+  if (instance->queue->Size() > 0) {
+    bool expected = false;
+    if (instance->scheduled.compare_exchange_strong(expected, true,
+                                                    std::memory_order_acq_rel)) {
+      resubmit();
+    }
   }
 }
 
@@ -491,25 +696,19 @@ Status JobRunner::AwaitTermination(int64_t timeout_ms) {
     }
     SystemClock::Instance()->SleepMs(1);
   }
-  // Sink done: sources and upstream instances have exited; join everything.
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  threads_.clear();
+  // Sink done: sources and upstream instances have sent their Ends; wait for
+  // the trailing pool tasks to drain.
+  tasks_wg_.Wait();
   running_.store(false);
   return Status::Ok();
 }
 
 void JobRunner::Cancel() {
-  if (!running_.load() && threads_.empty()) return;
   cancel_.store(true);
   for (auto& stage : stages_) {
     for (auto& inst : stage) inst->queue->Close();
   }
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  threads_.clear();
+  tasks_wg_.Wait();
   running_.store(false);
 }
 

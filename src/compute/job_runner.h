@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
@@ -32,16 +33,27 @@ struct JobRunnerOptions {
   bool periodic_checkpoints = true;
   int64_t source_idle_sleep_ms = 1;
   std::string checkpoint_prefix = "checkpoints";
+  /// Pool the job's tasks run on. nullptr -> the runner creates a private
+  /// pool of `pool_threads` threads, so tests and standalone runners need no
+  /// wiring. Either way the job's OS-thread count is the pool size, not the
+  /// operator-instance count.
+  common::Executor* executor = nullptr;
+  size_t pool_threads = 4;
 };
 
 /// Streaming dataflow executor — the Flink substitute (Section 4.2).
 ///
-/// Executes a JobGraph as a pipeline of threads: one thread per source and
-/// one per parallel operator instance, connected by bounded queues. Keyed
-/// stages partition records by key hash so all records of a key reach one
-/// instance; watermarks are broadcast and aligned (min across input
-/// channels) per instance. Backpressure propagates naturally through the
-/// bounded queues back to the sources.
+/// Executes a JobGraph as a set of cooperative tasks on a fixed-size
+/// executor: each operator instance is a task that drains its input queue
+/// and reschedules itself while work remains (wake-on-push, so idle
+/// instances cost nothing), and each source is a self-rescheduling poll
+/// task. A 20-operator job therefore needs pool-size threads, not 20+.
+/// Keyed stages partition records by key hash so all records of a key reach
+/// one instance; watermarks are broadcast and aligned (min across input
+/// channels) per instance. Tasks never block on a full channel: the
+/// producer stashes the element and yields, which propagates backpressure
+/// to the sources without stalling pool threads (deadlock-free at any pool
+/// size).
 ///
 /// Checkpoints are stop-the-world: sources pause, the pipeline drains, then
 /// source offsets and all operator state snapshot atomically to the object
@@ -54,6 +66,7 @@ class JobRunner {
   struct Wiring;
   struct Instance;
   struct SourceState;
+  struct PendingPush;
 
   JobRunner(JobGraph graph, stream::MessageBus* bus, storage::ObjectStore* store,
             JobRunnerOptions options = JobRunnerOptions());
@@ -62,7 +75,7 @@ class JobRunner {
   JobRunner(const JobRunner&) = delete;
   JobRunner& operator=(const JobRunner&) = delete;
 
-  /// Validates the graph and launches the pipeline threads.
+  /// Validates the graph and schedules the source tasks.
   Status Start();
 
   /// Loads a checkpoint (latest when `sequence` < 0) into the un-started
@@ -78,7 +91,8 @@ class JobRunner {
   /// Kappa+ backfill jobs end, Section 7).
   void RequestFinish();
 
-  /// Blocks until all pipeline threads exited. Timeout < 0 waits forever.
+  /// Blocks until the pipeline completed (sink saw all Ends) and every task
+  /// drained. Timeout < 0 waits forever.
   Status AwaitTermination(int64_t timeout_ms = -1);
 
   /// Hard-stops the pipeline without flushing windows (state is preserved
@@ -112,10 +126,21 @@ class JobRunner {
   const JobGraph& graph() const { return graph_; }
 
  private:
-  void SourceLoop(size_t source_index);
-  void InstanceLoop(Instance* instance);
-  void Dispatch(Element element, Wiring& wiring);
-  void Broadcast(Element element, Wiring& wiring);
+  /// One scheduling quantum of an operator instance: flush stash, drain up
+  /// to a budget of elements, reschedule or go idle (wake-on-push).
+  void RunInstance(Instance* instance);
+  /// One poll cycle of a source, then self-reschedule until done/cancelled.
+  void RunSource(size_t source_index);
+  /// Returns true when the instance saw its final End and exited.
+  bool ProcessElement(Instance* instance, Element element);
+  void Dispatch(Element element, Wiring& wiring, std::deque<PendingPush>* stash);
+  void Broadcast(Element element, Wiring& wiring, std::deque<PendingPush>* stash);
+  /// Retries stashed pushes; true when the stash is empty afterwards.
+  bool FlushStash(std::deque<PendingPush>& stash);
+  /// Schedules the instance's task if it is not already scheduled.
+  void WakeInstance(Instance* instance);
+  /// WaitGroup-tracked submit; false if the pool rejected the task.
+  bool SubmitTask(std::function<void()> fn);
   Status BuildTopology();
   Status WaitForQuiesce(int64_t timeout_ms);
 
@@ -124,11 +149,14 @@ class JobRunner {
   JobRunnerOptions options_;
   CheckpointStore checkpoint_store_;
 
+  std::unique_ptr<common::Executor> owned_executor_;  // when options_.executor==nullptr
+  common::Executor* executor_ = nullptr;
+  common::WaitGroup tasks_wg_;  ///< counts queued+running pool tasks
+
   std::vector<std::unique_ptr<SourceState>> source_states_;
   // stages_[i] = instances of transform i; the final entry is the sink stage.
   std::vector<std::vector<std::unique_ptr<Instance>>> stages_;
   std::vector<std::unique_ptr<Wiring>> wirings_;  // wirings_[i] feeds stage i
-  std::vector<std::thread> threads_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> finished_{false};

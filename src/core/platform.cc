@@ -6,9 +6,27 @@
 
 namespace uberrt::core {
 
+namespace {
+
+common::ExecutorOptions PlatformExecutorOptions(const RealtimePlatform::Options& options) {
+  common::ExecutorOptions exec;
+  exec.num_threads = options.executor_threads;
+  exec.name = "executor.platform";
+  return exec;
+}
+
+compute::JobManagerOptions PlatformJobManagerOptions(common::Executor* executor) {
+  compute::JobManagerOptions jm;
+  jm.default_executor = executor;
+  return jm;
+}
+
+}  // namespace
+
 RealtimePlatform::RealtimePlatform(Options options)
-    : olap_(&federation_, &store_),
-      job_manager_(&federation_, &store_),
+    : executor_(PlatformExecutorOptions(options)),
+      olap_(&federation_, &store_, &executor_),
+      job_manager_(&federation_, &store_, PlatformJobManagerOptions(&executor_)),
       presto_(&catalog_) {
   for (int32_t i = 0; i < options.num_stream_clusters; ++i) {
     stream::BrokerOptions broker_options;

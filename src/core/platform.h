@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/status.h"
 #include "compute/flink_sql.h"
 #include "compute/job_manager.h"
@@ -45,12 +46,16 @@ class RealtimePlatform {
     int32_t num_stream_clusters = 2;
     int32_t cluster_topic_capacity = 100;
     int32_t olap_servers = 2;
+    /// Threads in the process-wide executor every layer shares (OLAP
+    /// scatter-gather, job runners, ...). 0 picks the executor default.
+    size_t executor_threads = 0;
   };
 
   RealtimePlatform() : RealtimePlatform(Options()) {}
   explicit RealtimePlatform(Options options);
 
   // --- Layer access (advanced / test use) --------------------------------
+  common::Executor* executor() { return &executor_; }
   stream::KafkaFederation* streams() { return &federation_; }
   storage::InMemoryObjectStore* store() { return &store_; }
   metadata::SchemaRegistry* registry() { return &registry_; }
@@ -127,6 +132,9 @@ class RealtimePlatform {
   storage::InMemoryObjectStore store_;
   stream::KafkaFederation federation_;
   metadata::SchemaRegistry registry_;
+  // Declared before the components that borrow it so it is destroyed after
+  // them: runners and queries may still hold tasks on it while tearing down.
+  common::Executor executor_;
   olap::OlapCluster olap_;
   compute::JobManager job_manager_;
   sql::Catalog catalog_;

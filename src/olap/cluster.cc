@@ -119,18 +119,14 @@ Status OlapCluster::CreateTable(TableConfig config, const std::string& source_to
   }
   Result<int32_t> partitions = bus_->NumPartitions(source_topic);
   if (!partitions.ok()) return partitions.status();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tables_.count(config.name) > 0) {
-    return Status::AlreadyExists("table exists: " + config.name);
-  }
-  Table t;
-  t.options = options;
-  t.topic = source_topic;
-  t.num_stream_partitions = partitions.value();
-  t.servers.resize(static_cast<size_t>(options.num_servers));
-  for (int32_t s = 0; s < options.num_servers; ++s) t.servers[static_cast<size_t>(s)].id = s;
+  auto t = std::make_shared<Table>();
+  t->options = options;
+  t->topic = source_topic;
+  t->num_stream_partitions = partitions.value();
+  t->servers.resize(static_cast<size_t>(options.num_servers));
+  for (int32_t s = 0; s < options.num_servers; ++s) t->servers[static_cast<size_t>(s)].id = s;
   for (int32_t p = 0; p < partitions.value(); ++p) {
-    Server& server = t.servers[static_cast<size_t>(p % options.num_servers)];
+    Server& server = t->servers[static_cast<size_t>(p % options.num_servers)];
     ServerPartition sp;
     sp.data = std::make_unique<RealtimePartition>(config, p);
     Result<int64_t> begin = bus_->BeginOffset(source_topic, p);
@@ -138,9 +134,29 @@ Status OlapCluster::CreateTable(TableConfig config, const std::string& source_to
     sp.stream_offset = begin.value();
     server.partitions.emplace(p, std::move(sp));
   }
-  t.config = std::move(config);
-  std::string name = t.config.name;
-  tables_.emplace(std::move(name), std::move(t));
+  t->config = std::move(config);
+  const std::string& name = t->config.name;
+  // Resolve hot-path metric handles once; the registry owns them for its
+  // lifetime, so the handles stay valid even after DropTable.
+  t->rows_ingested = metrics_.GetCounter("olap." + name + ".rows_ingested");
+  t->decode_errors = metrics_.GetCounter("olap." + name + ".decode_errors");
+  t->segments_archived = metrics_.GetCounter("olap." + name + ".segments_archived");
+  t->ingestion_blocked = metrics_.GetCounter("olap." + name + ".ingestion_blocked");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  tables_.emplace(name, std::move(t));
+  return Status::Ok();
+}
+
+Status OlapCluster::DropTable(const std::string& table) {
+  std::shared_ptr<Table> victim;  // destroyed outside mu_
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  victim = std::move(it->second);
+  tables_.erase(it);
   return Status::Ok();
 }
 
@@ -150,22 +166,17 @@ bool OlapCluster::HasTable(const std::string& table) const {
 }
 
 Result<TableConfig> OlapCluster::GetTableConfig(const std::string& table) const {
+  Result<std::shared_ptr<Table>> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  return found.value()->config;
+}
+
+Result<std::shared_ptr<OlapCluster::Table>> OlapCluster::FindTable(
+    const std::string& table) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no table: " + table);
-  return it->second.config;
-}
-
-Result<const OlapCluster::Table*> OlapCluster::FindTable(const std::string& table) const {
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return Status::NotFound("no table: " + table);
-  return &it->second;
-}
-
-Result<OlapCluster::Table*> OlapCluster::FindTable(const std::string& table) {
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return Status::NotFound("no table: " + table);
-  return &it->second;
+  return it->second;
 }
 
 Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
@@ -183,11 +194,12 @@ Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
     Status put = store_->Put(key, blob);
     if (!put.ok()) {
       sp->archival_blocked = true;
+      std::lock_guard<std::mutex> alock(t->archival_mu);
       t->archival_queue.push_back({key, std::move(blob)});
-      metrics_.GetCounter("olap." + t->config.name + ".ingestion_blocked")->Increment();
+      t->ingestion_blocked->Increment();
       return Status::Ok();  // seal kept; consumption halted
     }
-    metrics_.GetCounter("olap." + t->config.name + ".segments_archived")->Increment();
+    t->segments_archived->Increment();
     return Status::Ok();
   }
 
@@ -207,30 +219,34 @@ Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
     --replicas_wanted;
     (void)peer;
   }
+  std::lock_guard<std::mutex> alock(t->archival_mu);
   t->archival_queue.push_back({key, std::move(blob)});
   return Status::Ok();
 }
 
 Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
                                         size_t max_per_partition) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  Table* t = found.value();
+  Table* t = found.value().get();
+  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
   int64_t ingested = 0;
   for (Server& server : t->servers) {
     for (auto& [partition_id, sp] : server.partitions) {
       if (sp.archival_blocked) {
         // Sync mode: retry the pending backup before consuming anything.
         bool unblocked = true;
-        while (!t->archival_queue.empty()) {
-          PendingArchive& pending = t->archival_queue.front();
-          if (!store_->Put(pending.key, pending.blob).ok()) {
-            unblocked = false;
-            break;
+        {
+          std::lock_guard<std::mutex> alock(t->archival_mu);
+          while (!t->archival_queue.empty()) {
+            PendingArchive& pending = t->archival_queue.front();
+            if (!store_->Put(pending.key, pending.blob).ok()) {
+              unblocked = false;
+              break;
+            }
+            t->segments_archived->Increment();
+            t->archival_queue.pop_front();
           }
-          metrics_.GetCounter("olap." + table + ".segments_archived")->Increment();
-          t->archival_queue.pop_front();
         }
         if (!unblocked) continue;  // still halted
         sp.archival_blocked = false;
@@ -264,7 +280,7 @@ Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
           Result<Row> row = DecodeRow(m.value);
           sp.stream_offset = m.offset + 1;
           if (!row.ok()) {
-            metrics_.GetCounter("olap." + table + ".decode_errors")->Increment();
+            t->decode_errors->Increment();
             continue;
           }
           Status ingest = sp.data->Ingest(std::move(row.value()));
@@ -275,7 +291,7 @@ Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
       UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
     }
   }
-  metrics_.GetCounter("olap." + table + ".rows_ingested")->Increment(ingested);
+  t->rows_ingested->Increment(ingested);
   return ingested;
 }
 
@@ -293,10 +309,10 @@ Result<int64_t> OlapCluster::IngestAll(const std::string& table, int32_t max_cyc
 }
 
 Result<int64_t> OlapCluster::IngestLag(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<const Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  const Table* t = found.value();
+  const Table* t = found.value().get();
+  std::shared_lock<std::shared_mutex> lock(t->rw_mu);
   int64_t lag = 0;
   for (const Server& server : t->servers) {
     for (const auto& [partition_id, sp] : server.partitions) {
@@ -310,10 +326,17 @@ Result<int64_t> OlapCluster::IngestLag(const std::string& table) const {
 
 Result<OlapResult> OlapCluster::Query(const std::string& table,
                                       const OlapQuery& query) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<const Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  const Table* t = found.value();
+  const std::shared_ptr<Table>& t = found.value();
+  // Shared lock: concurrent queries (same or different table) overlap; only
+  // ingestion/seal/recovery exclude queries, and only on this table.
+  std::shared_lock<std::shared_mutex> lock(t->rw_mu);
+  queries_executing_->Add(1);
+  struct ExecutingGuard {
+    Gauge* g;
+    ~ExecutingGuard() { g->Add(-1); }
+  } executing_guard{queries_executing_};
 
   // Partition-aware routing (Section 4.3.1): an upsert table queried with
   // an equality predicate on the primary key lives entirely in one
@@ -330,30 +353,69 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
     }
   }
 
-  OlapQueryStats stats;
-  std::vector<Row> partials;
-  for (const Server& server : t->servers) {
+  // Scatter: one sub-query per server, gathered into a server-indexed slot
+  // so the merge order is deterministic regardless of scheduling.
+  struct ServerPartial {
+    std::vector<Row> rows;
+    OlapQueryStats stats;
+    Status status;
     bool touched = false;
-    for (const auto& [partition_id, sp] : server.partitions) {
+  };
+  std::vector<ServerPartial> partials(t->servers.size());
+  auto run_server = [&](size_t si) {
+    ServerPartial& out = partials[si];
+    for (const auto& [partition_id, sp] : t->servers[si].partitions) {
       if (routed_partition >= 0 && partition_id != routed_partition) continue;
-      touched = true;
-      Result<OlapResult> partial = sp.data->Execute(query, &stats);
-      if (!partial.ok()) return partial.status();
-      for (Row& row : partial.value().rows) partials.push_back(std::move(row));
+      out.touched = true;
+      Result<OlapResult> partial = sp.data->Execute(query, &out.stats);
+      if (!partial.ok()) {
+        out.status = partial.status();
+        return;
+      }
+      for (Row& row : partial.value().rows) out.rows.push_back(std::move(row));
     }
-    if (touched) ++stats.servers_queried;
+  };
+
+  common::Executor* exec = executor_;
+  if (exec != nullptr && routed_partition < 0 && t->servers.size() > 1) {
+    common::WaitGroup wg;
+    for (size_t si = 0; si < t->servers.size(); ++si) {
+      wg.Add();
+      if (!exec->Submit([&run_server, &wg, si] {
+            run_server(si);
+            wg.Done();
+          })) {
+        run_server(si);  // pool already shut down: degrade to inline
+        wg.Done();
+      }
+    }
+    wg.Wait();
+  } else {
+    for (size_t si = 0; si < t->servers.size(); ++si) run_server(si);
   }
-  Result<OlapResult> merged = MergeAndFinalize(query, t->config.schema, std::move(partials));
+
+  // Gather.
+  OlapQueryStats stats;
+  std::vector<Row> rows;
+  for (ServerPartial& p : partials) {
+    if (!p.status.ok()) return p.status;
+    stats.segments_scanned += p.stats.segments_scanned;
+    stats.rows_scanned += p.stats.rows_scanned;
+    stats.star_tree_hits += p.stats.star_tree_hits;
+    if (p.touched) ++stats.servers_queried;
+    for (Row& row : p.rows) rows.push_back(std::move(row));
+  }
+  Result<OlapResult> merged = MergeAndFinalize(query, t->config.schema, std::move(rows));
   if (!merged.ok()) return merged;
   merged.value().stats = stats;
   return merged;
 }
 
 Result<int64_t> OlapCluster::ForceSeal(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  Table* t = found.value();
+  Table* t = found.value().get();
+  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
   int64_t sealed = 0;
   for (Server& server : t->servers) {
     for (auto& [partition_id, sp] : server.partitions) {
@@ -366,10 +428,10 @@ Result<int64_t> OlapCluster::ForceSeal(const std::string& table) {
 }
 
 Result<int64_t> OlapCluster::DrainArchivalQueue(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  Table* t = found.value();
+  Table* t = found.value().get();
+  std::lock_guard<std::mutex> alock(t->archival_mu);
   int64_t archived = 0;
   while (!t->archival_queue.empty()) {
     PendingArchive& pending = t->archival_queue.front();
@@ -378,22 +440,23 @@ Result<int64_t> OlapCluster::DrainArchivalQueue(const std::string& table) {
     t->archival_queue.pop_front();
   }
   if (archived > 0) {
-    metrics_.GetCounter("olap." + table + ".segments_archived")->Increment(archived);
+    t->segments_archived->Increment(archived);
   }
   return archived;
 }
 
 int64_t OlapCluster::ArchivalQueueDepth(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(table);
-  return it == tables_.end() ? 0 : static_cast<int64_t>(it->second.archival_queue.size());
+  Result<std::shared_ptr<Table>> found = FindTable(table);
+  if (!found.ok()) return 0;
+  std::lock_guard<std::mutex> alock(found.value()->archival_mu);
+  return static_cast<int64_t>(found.value()->archival_queue.size());
 }
 
 Status OlapCluster::KillServer(const std::string& table, int32_t server_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  Table* t = found.value();
+  Table* t = found.value().get();
+  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
   if (server_id < 0 || server_id >= static_cast<int32_t>(t->servers.size())) {
     return Status::InvalidArgument("no server " + std::to_string(server_id));
   }
@@ -405,10 +468,10 @@ Status OlapCluster::KillServer(const std::string& table, int32_t server_id) {
 
 Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
                                                   int32_t server_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
-  Table* t = found.value();
+  Table* t = found.value().get();
+  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
   if (server_id < 0 || server_id >= static_cast<int32_t>(t->servers.size())) {
     return Status::InvalidArgument("no server " + std::to_string(server_id));
   }
@@ -463,22 +526,24 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
 }
 
 Result<int64_t> OlapCluster::NumRows(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<const Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
+  const Table* t = found.value().get();
+  std::shared_lock<std::shared_mutex> lock(t->rw_mu);
   int64_t rows = 0;
-  for (const Server& server : found.value()->servers) {
+  for (const Server& server : t->servers) {
     for (const auto& [partition_id, sp] : server.partitions) rows += sp.data->NumRows();
   }
   return rows;
 }
 
 Result<int64_t> OlapCluster::MemoryBytes(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<const Table*> found = FindTable(table);
+  Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
+  const Table* t = found.value().get();
+  std::shared_lock<std::shared_mutex> lock(t->rw_mu);
   int64_t bytes = 0;
-  for (const Server& server : found.value()->servers) {
+  for (const Server& server : t->servers) {
     for (const auto& [partition_id, sp] : server.partitions) {
       bytes += sp.data->MemoryBytes();
     }

@@ -6,9 +6,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "olap/query.h"
@@ -51,15 +53,39 @@ struct RecoveryReport {
 /// Deterministic pump model: ingestion advances via IngestOnce()/IngestAll()
 /// and async archival via DrainArchivalQueue(), so tests and benches control
 /// interleaving exactly.
+///
+/// Concurrency model (mirrors the stream broker's topic ownership):
+///   - `mu_` guards only table-map membership; tables are shared_ptr-owned,
+///     so a table dropped mid-operation stays alive until in-flight callers
+///     finish.
+///   - Each table carries its own `rw_mu`: Query and the read-only stats
+///     take it shared (queries on one table run concurrently and never
+///     block queries on another table); ingestion/seal/kill/recover take it
+///     exclusive.
+///   - The archival queue has its own `archival_mu` (lock order:
+///     rw_mu -> archival_mu) so DrainArchivalQueue never blocks queries.
+///   - With an executor attached, Query fans the per-server sub-queries out
+///     to the pool and gathers before MergeAndFinalize; without one it runs
+///     the servers inline (serial baseline for the benches).
 class OlapCluster {
  public:
-  OlapCluster(stream::MessageBus* bus, storage::ObjectStore* segment_store)
-      : bus_(bus), store_(segment_store) {}
+  OlapCluster(stream::MessageBus* bus, storage::ObjectStore* segment_store,
+              common::Executor* executor = nullptr)
+      : bus_(bus), store_(segment_store), executor_(executor) {
+    queries_executing_ = metrics_.GetGauge("olap.queries_executing");
+  }
+
+  /// Swaps the scatter-gather pool; nullptr restores the serial path.
+  void SetExecutor(common::Executor* executor) { executor_ = executor; }
 
   /// Registers a table ingesting from `source_topic` (must exist; its
   /// partition count defines the table's partitions).
   Status CreateTable(TableConfig config, const std::string& source_topic,
                      ClusterTableOptions options = ClusterTableOptions());
+
+  /// Unregisters a table. In-flight queries/ingests on the shared_ptr
+  /// finish against the detached table.
+  Status DropTable(const std::string& table);
 
   bool HasTable(const std::string& table) const;
   Result<TableConfig> GetTableConfig(const std::string& table) const;
@@ -77,7 +103,7 @@ class OlapCluster {
   Result<int64_t> IngestLag(const std::string& table) const;
 
   /// Broker query: route (or scatter), execute, merge, finalize, order,
-  /// limit.
+  /// limit. Holds no cluster-wide lock while servers execute.
   Result<OlapResult> Query(const std::string& table, const OlapQuery& query) const;
 
   /// Force-seals every consuming buffer into an immutable (indexed)
@@ -127,21 +153,36 @@ class OlapCluster {
     std::deque<PendingArchive> archival_queue;
     // segment name -> peer replicas (on servers != home)
     std::map<std::string, std::vector<ReplicaEntry>> replicas;
+
+    /// Shared: Query/NumRows/MemoryBytes/IngestLag. Exclusive: IngestOnce/
+    /// ForceSeal/KillServer/RecoverServer. Never held across map lookups.
+    mutable std::shared_mutex rw_mu;
+    /// Guards archival_queue only. Lock order: rw_mu -> archival_mu.
+    mutable std::mutex archival_mu;
+
+    // Hot-path metric handles, resolved once at CreateTable.
+    Counter* rows_ingested = nullptr;
+    Counter* decode_errors = nullptr;
+    Counter* segments_archived = nullptr;
+    Counter* ingestion_blocked = nullptr;
   };
 
   std::string SegmentKey(const std::string& table, const std::string& segment) const {
     return "segments/" + table + "/" + segment;
   }
-  Result<const Table*> FindTable(const std::string& table) const;
-  Result<Table*> FindTable(const std::string& table);
+  /// Map lookup under mu_; the returned table is kept alive by the
+  /// shared_ptr regardless of concurrent DropTable.
+  Result<std::shared_ptr<Table>> FindTable(const std::string& table) const;
   Status HandleSeal(Table* t, Server* server, int32_t partition_id,
                     ServerPartition* sp, bool force = false);
 
   stream::MessageBus* bus_;
   storage::ObjectStore* store_;
-  mutable std::mutex mu_;
-  std::map<std::string, Table> tables_;
+  common::Executor* executor_;
+  mutable std::mutex mu_;  // table-map membership only
+  std::map<std::string, std::shared_ptr<Table>> tables_;
   mutable MetricsRegistry metrics_;
+  Gauge* queries_executing_;
 
  public:
   MetricsRegistry* metrics() { return &metrics_; }

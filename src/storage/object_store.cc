@@ -3,12 +3,17 @@
 namespace uberrt::storage {
 
 InMemoryObjectStore::InMemoryObjectStore(ObjectStoreOptions options, Clock* clock)
-    : options_(options), clock_(clock) {}
+    : options_(options),
+      clock_(clock),
+      puts_(metrics_.GetCounter("storage.puts")),
+      gets_(metrics_.GetCounter("storage.gets")),
+      bytes_written_(metrics_.GetCounter("storage.bytes_written")),
+      unavailable_errors_(metrics_.GetCounter("storage.unavailable_errors")) {}
 
 Status InMemoryObjectStore::CheckAvailable(const char* op) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!available_) {
-    metrics_.GetCounter("storage.unavailable_errors")->Increment();
+    unavailable_errors_->Increment();
     return Status::Unavailable(std::string("object store down during ") + op);
   }
   return Status::Ok();
@@ -26,8 +31,8 @@ Status InMemoryObjectStore::Put(const std::string& key, const std::string& data)
     objects_.emplace(key, data);
   }
   total_bytes_ += static_cast<int64_t>(data.size());
-  metrics_.GetCounter("storage.puts")->Increment();
-  metrics_.GetCounter("storage.bytes_written")->Increment(static_cast<int64_t>(data.size()));
+  puts_->Increment();
+  bytes_written_->Increment(static_cast<int64_t>(data.size()));
   return Status::Ok();
 }
 
@@ -37,7 +42,7 @@ Result<std::string> InMemoryObjectStore::Get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no object: " + key);
-  metrics_.GetCounter("storage.gets")->Increment();
+  gets_->Increment();
   return it->second;
 }
 

@@ -82,6 +82,12 @@ class InMemoryObjectStore : public ObjectStore {
   int64_t total_bytes_ = 0;
   bool available_ = true;
   mutable MetricsRegistry metrics_;
+  // Handles resolved once at construction: the per-op registry lookup (map
+  // lock + string hash) would otherwise sit on the Put/Get hot path.
+  Counter* puts_;
+  Counter* gets_;
+  Counter* bytes_written_;
+  Counter* unavailable_errors_;
 };
 
 }  // namespace uberrt::storage

@@ -1,5 +1,7 @@
 #include "stream/consumer_proxy.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 
 namespace uberrt::stream {
@@ -22,10 +24,17 @@ Status ConsumerProxy::Start() {
   consumer_ = std::make_unique<Consumer>(bus_, group_, topic_, group_ + "-proxy");
   UBERRT_RETURN_IF_ERROR(consumer_->Subscribe());
   queue_ = std::make_unique<BoundedQueue<Message>>(options_.queue_capacity);
-  running_.store(true);
-  for (int32_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  executor_ = options_.executor;
+  if (executor_ == nullptr) {
+    // Dispatch workers may block in the endpoint, so a private pool is
+    // sized to the requested dispatch parallelism.
+    common::ExecutorOptions pool;
+    pool.num_threads = static_cast<size_t>(std::max<int32_t>(1, options_.num_workers));
+    pool.name = "executor.proxy." + group_;
+    owned_executor_ = std::make_unique<common::Executor>(pool);
+    executor_ = owned_executor_.get();
   }
+  running_.store(true);
   poller_ = std::thread([this] { PollLoop(); });
   return Status::Ok();
 }
@@ -35,10 +44,10 @@ void ConsumerProxy::Stop() {
   if (!running_.exchange(false)) return;
   if (poller_.joinable()) poller_.join();
   queue_->Close();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
+  // Worker tasks drain the closed queue, then retire; wait for the last one.
+  workers_wg_.Wait();
+  owned_executor_.reset();
+  executor_ = nullptr;
   if (consumer_) {
     consumer_->Commit().ok();
     consumer_->Close().ok();
@@ -64,6 +73,7 @@ void ConsumerProxy::PollLoop() {
           in_flight_.fetch_sub(1);
           return;  // queue closed
         }
+        SpawnWorkers();
         idle = false;
       }
     }
@@ -79,10 +89,36 @@ void ConsumerProxy::PollLoop() {
   if (retry_subscribed) retry_consumer.Close().ok();
 }
 
-void ConsumerProxy::WorkerLoop() {
+void ConsumerProxy::SpawnWorkers() {
+  // Cap concurrent dispatches at num_workers regardless of pool size: a
+  // worker slot is claimed by CAS before its task is submitted, and retired
+  // when the task finds the queue empty.
+  while (queue_->Size() > 0) {
+    int32_t current = active_workers_.load();
+    if (current >= options_.num_workers) return;
+    if (!active_workers_.compare_exchange_weak(current, current + 1)) continue;
+    workers_wg_.Add(1);
+    if (!executor_->Submit([this] {
+          WorkerTask();
+          workers_wg_.Done();
+        })) {
+      active_workers_.fetch_sub(1);
+      workers_wg_.Done();
+      return;  // pool shut down
+    }
+  }
+}
+
+void ConsumerProxy::WorkerTask() {
   while (true) {
-    std::optional<Message> message = queue_->Pop();
-    if (!message.has_value()) return;  // closed and drained
+    std::optional<Message> message = queue_->TryPop();
+    if (!message.has_value()) {
+      active_workers_.fetch_sub(1);
+      // Recheck after retiring the slot: a message pushed between the empty
+      // TryPop and the decrement must not be stranded with no worker.
+      if (queue_->Size() > 0) SpawnWorkers();
+      return;
+    }
     dispatched_.fetch_add(1);
     Status result = endpoint_(*message);
     if (result.ok()) {

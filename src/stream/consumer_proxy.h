@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
@@ -43,6 +44,10 @@ struct ConsumerProxyOptions {
     /// Pending dispatch buffer (bounded: the proxy itself applies
     /// backpressure to its poll loop).
     size_t queue_capacity = 1024;
+    /// Pool the dispatch workers run on. nullptr -> the proxy creates a
+    /// private pool of num_workers threads. Either way at most num_workers
+    /// dispatches run concurrently; the pool size only bounds OS threads.
+    common::Executor* executor = nullptr;
 };
 
 class ConsumerProxy {
@@ -75,7 +80,11 @@ class ConsumerProxy {
 
  private:
   void PollLoop();
-  void WorkerLoop();
+  /// Schedules worker tasks on the executor until num_workers are active or
+  /// the queue is empty.
+  void SpawnWorkers();
+  /// One worker task: drains the dispatch queue, then retires its slot.
+  void WorkerTask();
 
   MessageBus* bus_;
   std::string topic_;
@@ -84,12 +93,15 @@ class ConsumerProxy {
   ConsumerProxyOptions options_;
   DlqManager dlq_;
 
-  // Serializes Start/Stop so two threads cannot race the thread-pool and
-  // queue setup/teardown; never held by the poller or workers.
+  // Serializes Start/Stop so two threads cannot race the pool and queue
+  // setup/teardown; never held by the poller or workers.
   std::mutex lifecycle_mu_;
   std::unique_ptr<Consumer> consumer_;
   std::unique_ptr<BoundedQueue<Message>> queue_;
-  std::vector<std::thread> workers_;
+  std::unique_ptr<common::Executor> owned_executor_;  // when options_.executor==nullptr
+  common::Executor* executor_ = nullptr;
+  common::WaitGroup workers_wg_;  ///< queued+running worker tasks
+  std::atomic<int32_t> active_workers_{0};
   std::thread poller_;
   std::atomic<bool> running_{false};
   std::atomic<int64_t> in_flight_{0};

@@ -93,7 +93,7 @@ Status KafkaFederation::CreateTopic(const std::string& topic, TopicConfig config
   picked.value()->hosted_topics++;
   topic_to_cluster_[topic] = picked.value()->broker->name();
   topic_configs_[topic] = config;
-  metrics_.GetCounter("federation.topics_created")->Increment();
+  topics_created_->Increment();
   return Status::Ok();
 }
 
@@ -119,7 +119,7 @@ Result<ProduceResult> KafkaFederation::Produce(const std::string& topic,
   UBERRT_RETURN_IF_ERROR(FailoverTopic(topic));
   Result<std::shared_ptr<Broker>> rerouted = Route(topic);
   if (!rerouted.ok()) return rerouted.status();
-  metrics_.GetCounter("federation.failover_produces")->Increment();
+  failover_produces_->Increment();
   return rerouted.value()->Produce(topic, std::move(message), ack);
 }
 
@@ -195,7 +195,7 @@ Status KafkaFederation::MigrateTopic(const std::string& topic,
     topic_to_cluster_[topic] = target_cluster;
   }
   source->DeleteTopic(topic).ok();
-  metrics_.GetCounter("federation.migrations")->Increment();
+  migrations_->Increment();
   return Status::Ok();
 }
 
@@ -214,7 +214,7 @@ Status KafkaFederation::FailoverTopic(const std::string& topic) {
   if (old_cluster != clusters_.end()) old_cluster->second.hosted_topics--;
   picked.value()->hosted_topics++;
   it->second = picked.value()->broker->name();
-  metrics_.GetCounter("federation.failovers")->Increment();
+  failovers_->Increment();
   return Status::Ok();
 }
 

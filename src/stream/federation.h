@@ -109,6 +109,12 @@ class KafkaFederation : public MessageBus {
   std::map<std::string, Group> groups_;            // group\0topic
   std::map<std::string, int64_t> committed_;       // group\0topic\0partition
   mutable MetricsRegistry metrics_;
+  // Resolved once at construction; Produce's failover path and the control-
+  // plane ops bump these without a registry lookup.
+  Counter* topics_created_ = metrics_.GetCounter("federation.topics_created");
+  Counter* failover_produces_ = metrics_.GetCounter("federation.failover_produces");
+  Counter* migrations_ = metrics_.GetCounter("federation.migrations");
+  Counter* failovers_ = metrics_.GetCounter("federation.failovers");
 };
 
 }  // namespace uberrt::stream

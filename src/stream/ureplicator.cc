@@ -224,42 +224,92 @@ void UReplicator::RedistributeBurstsLocked() {
 Result<int64_t> UReplicator::RunOnce() {
   std::lock_guard<std::mutex> lock(mu_);
   RedistributeBurstsLocked();
-  int64_t replicated = 0;
-  std::map<int32_t, int64_t> budget;  // per-worker cycle throughput
+
+  // Group partitions by owning logical worker: workers copy in parallel on
+  // the executor (mu_ is held, so the groups touch disjoint PartitionState
+  // entries and the brokers are thread-safe); within a worker, partitions
+  // pump in order under the shared cycle budget.
+  std::map<int32_t, std::vector<std::pair<const TopicPartition*, PartitionState*>>>
+      by_worker;
   for (auto& [tp, state] : partitions_) {
-    int64_t& remaining = budget.try_emplace(state.owner,
-                                            options_.worker_cycle_budget).first->second;
-    if (remaining <= 0) continue;
-    size_t want = std::min<int64_t>(static_cast<int64_t>(options_.batch_size),
-                                    remaining);
-    Result<std::vector<Message>> batch =
-        source_->Fetch(tp.topic, tp.partition, state.source_position, want);
-    if (!batch.ok()) {
-      if (batch.status().code() == StatusCode::kOutOfRange) {
-        // Source truncated under us; skip forward.
-        Result<int64_t> begin = source_->BeginOffset(tp.topic, tp.partition);
-        if (begin.ok()) state.source_position = begin.value();
-        continue;
+    by_worker[state.owner].push_back({&tp, &state});
+  }
+
+  struct WorkerOutcome {
+    int64_t replicated = 0;
+    Status status;
+  };
+  auto run_worker =
+      [this](const std::vector<std::pair<const TopicPartition*, PartitionState*>>& parts,
+             WorkerOutcome* out) {
+        int64_t remaining = options_.worker_cycle_budget;
+        for (const auto& [tp_ptr, state] : parts) {
+          const TopicPartition& tp = *tp_ptr;
+          if (remaining <= 0) break;
+          size_t want = std::min<int64_t>(static_cast<int64_t>(options_.batch_size),
+                                          remaining);
+          Result<std::vector<Message>> batch =
+              source_->Fetch(tp.topic, tp.partition, state->source_position, want);
+          if (!batch.ok()) {
+            if (batch.status().code() == StatusCode::kOutOfRange) {
+              // Source truncated under us; skip forward.
+              Result<int64_t> begin = source_->BeginOffset(tp.topic, tp.partition);
+              if (begin.ok()) state->source_position = begin.value();
+              continue;
+            }
+            out->status = batch.status();
+            return;
+          }
+          for (const Message& m : batch.value()) {
+            Message copy = m;
+            copy.offset = -1;  // destination assigns its own offsets
+            Result<ProduceResult> produced =
+                destination_->Produce(tp.topic, std::move(copy), AckMode::kLeader);
+            if (!produced.ok()) {
+              out->status = produced.status();
+              return;
+            }
+            state->source_position = m.offset + 1;
+            ++state->since_checkpoint;
+            ++out->replicated;
+            --remaining;
+            if (mapping_store_ != nullptr &&
+                state->since_checkpoint >= options_.checkpoint_every) {
+              mapping_store_->Checkpoint(
+                  route_, tp, OffsetMapping{m.offset + 1, produced.value().offset + 1});
+              state->since_checkpoint = 0;
+            }
+          }
+        }
+      };
+
+  std::vector<WorkerOutcome> outcomes(by_worker.size());
+  if (options_.executor != nullptr && by_worker.size() > 1) {
+    common::WaitGroup wg;
+    size_t slot = 0;
+    for (auto& [worker, parts] : by_worker) {
+      WorkerOutcome* out = &outcomes[slot++];
+      wg.Add(1);
+      auto task = [&run_worker, &parts, out, &wg] {
+        run_worker(parts, out);
+        wg.Done();
+      };
+      if (!options_.executor->Submit(task)) {
+        task();  // pool shut down: degrade to inline
       }
-      return batch.status();
     }
-    for (const Message& m : batch.value()) {
-      Message copy = m;
-      copy.offset = -1;  // destination assigns its own offsets
-      Result<ProduceResult> produced =
-          destination_->Produce(tp.topic, std::move(copy), AckMode::kLeader);
-      if (!produced.ok()) return produced.status();
-      state.source_position = m.offset + 1;
-      ++state.since_checkpoint;
-      ++replicated;
-      --remaining;
-      if (mapping_store_ != nullptr &&
-          state.since_checkpoint >= options_.checkpoint_every) {
-        mapping_store_->Checkpoint(
-            route_, tp, OffsetMapping{m.offset + 1, produced.value().offset + 1});
-        state.since_checkpoint = 0;
-      }
+    wg.Wait();
+  } else {
+    size_t slot = 0;
+    for (auto& [worker, parts] : by_worker) {
+      run_worker(parts, &outcomes[slot++]);
     }
+  }
+
+  int64_t replicated = 0;
+  for (const WorkerOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+    replicated += out.replicated;
   }
   return replicated;
 }

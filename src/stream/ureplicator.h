@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "stream/broker.h"
@@ -104,6 +105,10 @@ struct UReplicatorOptions {
   /// Max messages one worker copies per RunOnce (its cycle throughput);
   /// this is what makes extra standby workers actually add capacity.
   int64_t worker_cycle_budget = INT64_MAX;
+  /// Pool for RunOnce's per-worker copy fan-out. nullptr -> each logical
+  /// worker's partitions are pumped serially (deterministic order, the mode
+  /// the rebalance tests rely on).
+  common::Executor* executor = nullptr;
 };
 
 /// Cross-cluster replicator; see file comment above.
