@@ -4,6 +4,7 @@
 // keeps ingesting through outages and recovers replicas from peers.
 
 #include "bench_util.h"
+#include "common/fault_injector.h"
 #include "olap/cluster.h"
 #include "stream/broker.h"
 #include "workload/generators.h"
@@ -56,6 +57,60 @@ OutageResult RunOutage(olap::ArchivalMode mode) {
   return result;
 }
 
+// MTTR under a flapping store: after a server dies at t=1000 on a simulated
+// clock, how long until the first query returns complete results again?
+// Peer-to-peer recovery pulls replicas from live servers immediately; the
+// store-only path has to wait out the outage windows of the flap schedule.
+int64_t MeasureRecoveryMttrMs(bool peer_to_peer) {
+  SimulatedClock clock(0);
+  common::FaultInjector faults(42, &clock);
+  stream::Broker broker("c1");
+  storage::InMemoryObjectStore store;
+  store.SetFaultInjector(&faults);
+  stream::TopicConfig topic;
+  topic.num_partitions = 4;
+  broker.CreateTopic("trips", topic).ok();
+  olap::OlapCluster cluster(&broker, &store);
+  cluster.SetFaultInjector(&faults);
+  olap::TableConfig table;
+  table.name = "trips_t";
+  table.schema = workload::TripEventGenerator::Schema();
+  table.segment_rows_threshold = 500;
+  olap::ClusterTableOptions options;
+  if (peer_to_peer) {
+    options.archival_mode = olap::ArchivalMode::kAsyncPeerToPeer;
+    options.replication_factor = 2;
+  } else {
+    options.archival_mode = olap::ArchivalMode::kSyncCentralized;
+  }
+  cluster.CreateTable(table, "trips", options).ok();
+
+  // Warm-up while the store is healthy: every segment seals and archives.
+  workload::TripEventGenerator generator({});
+  generator.Produce(&broker, "trips", 2'000).ok();
+  cluster.IngestAll("trips_t").ok();
+  cluster.DrainArchivalQueue("trips_t").ok();
+  const int64_t expected = cluster.NumRows("trips_t").value();
+
+  // The flap schedule: from t=1000 the store is down 400ms out of every 500.
+  for (int k = 0; k < 40; ++k) {
+    faults.ScheduleOutage("store", 1000 + k * 500, 1000 + k * 500 + 400);
+  }
+
+  clock.SetMs(1000);
+  cluster.KillServer("trips_t", 0).ok();
+  while (true) {
+    cluster.RecoverServer("trips_t", 0).ok();  // store may be mid-flap: partial
+    olap::OlapQuery query;
+    query.aggregations = {olap::OlapAggregation::Count("n")};
+    Result<olap::OlapResult> result = cluster.Query("trips_t", query);
+    if (result.ok() && result.value().rows[0][0].AsInt() == expected) {
+      return clock.NowMs() - 1000;
+    }
+    clock.AdvanceMs(50);
+  }
+}
+
 }  // namespace
 
 int Main() {
@@ -104,6 +159,24 @@ int Main() {
               static_cast<long long>(report.segments_from_peers),
               static_cast<long long>(report.segments_from_store),
               static_cast<long long>(report.segments_lost));
+
+  // MTTR: time-to-first-complete-query after server loss under a flapping
+  // store (simulated clock; store down 400ms of every 500ms).
+  std::printf("\nMTTR after server loss under a flapping store:\n");
+  int64_t mttr_peer = MeasureRecoveryMttrMs(/*peer_to_peer=*/true);
+  int64_t mttr_store_only = MeasureRecoveryMttrMs(/*peer_to_peer=*/false);
+  std::printf("  peer_to_peer (RF=2):   %6lld ms\n",
+              static_cast<long long>(mttr_peer));
+  std::printf("  store_only (sync):     %6lld ms\n",
+              static_cast<long long>(mttr_store_only));
+  bench::JsonReport json("c7_recovery",
+                         "p2p segment recovery restores service without waiting "
+                         "out store outages; store-only recovery MTTR tracks the "
+                         "outage windows");
+  json.Metric("mttr_ms_peer", static_cast<double>(mttr_peer));
+  json.Metric("mttr_ms_store_only", static_cast<double>(mttr_store_only));
+  json.Metric("flap_down_ms_per_500ms", 400.0);
+  json.Write();
   return 0;
 }
 

@@ -38,9 +38,12 @@ int Main() {
   compute::JobRunner* runner = platform.jobs()->GetRunner(sql_job.value());
   runner->WaitUntilCaughtUp(60'000).ok();
   platform.jobs()->Tick().ok();  // periodic checkpoint
-  platform.jobs()->InjectFailure(sql_job.value()).ok();
-  std::printf("  crash injected; state before tick: runner dead\n");
-  platform.jobs()->Tick().ok();  // detects + restarts from checkpoint
+  common::FaultRule crash;
+  crash.error_probability = 1.0;
+  crash.max_triggers = 1;  // one-shot
+  platform.faults()->SetRule("job.crash." + sql_job.value(), crash);
+  std::printf("  crash scheduled on the fault plane; next tick fires it\n");
+  platform.jobs()->Tick().ok();  // crashes, detects + restarts from checkpoint
   compute::JobInfo info = platform.jobs()->GetJob(sql_job.value()).value();
   std::printf("  after monitoring tick: state=%s restarts=%lld (restored from "
               "checkpoint)\n",

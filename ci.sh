@@ -14,13 +14,23 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-CONCURRENCY_SUITES="common_executor_test|stream_broker_concurrency_test|olap_cluster_concurrency_test"
+CONCURRENCY_SUITES="common_executor_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test"
 for SAN in address thread; do
   echo "== sanitizer gate: ${SAN} =="
   cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
   cmake --build "build-${SAN}" -j --target \
-    common_executor_test stream_broker_concurrency_test olap_cluster_concurrency_test
+    common_executor_test stream_broker_concurrency_test olap_cluster_concurrency_test \
+    chaos_soak_test
   ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
+done
+
+# Chaos gate: the end-to-end soak must hold its invariants (no acked message
+# lost, exact counts across crash/restart, zero-loss failover) for multiple
+# seeds under TSan, not just the default.
+for SEED in 7 1337; do
+  echo "== chaos gate: thread sanitizer, seed ${SEED} =="
+  UBERRT_CHAOS_SEED="${SEED}" \
+    ctest --test-dir build-thread --output-on-failure -R '^chaos_soak_test$'
 done
 
 echo "CI OK"

@@ -45,9 +45,35 @@ Result<std::string> AllActiveCoordinator::Failover(const std::string& service) {
   return Status::Unavailable("no healthy region to fail over to");
 }
 
+Result<int64_t> AllActiveCoordinator::HealthCheckOnce() {
+  std::vector<std::string> unhealthy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [service, primary] : primaries_) {
+      Region* region = topology_->GetRegion(primary);
+      if (region == nullptr || !region->healthy()) unhealthy.push_back(service);
+    }
+  }
+  // Failover takes mu_ itself; run the elections outside the lock.
+  int64_t moved = 0;
+  for (const std::string& service : unhealthy) {
+    if (Failover(service).ok()) ++moved;  // else: retried next sweep
+  }
+  if (moved > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto_failovers_ += moved;
+  }
+  return moved;
+}
+
 int64_t AllActiveCoordinator::failovers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return failovers_;
+}
+
+int64_t AllActiveCoordinator::auto_failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_failovers_;
 }
 
 ActivePassiveConsumer::ActivePassiveConsumer(MultiRegionTopology* topology,

@@ -31,13 +31,25 @@ class AllActiveCoordinator {
   /// down). Returns the new primary region.
   Result<std::string> Failover(const std::string& service);
 
+  /// One health-check sweep: every service whose primary region is
+  /// unhealthy is failed over to a healthy region automatically (paper
+  /// Section 6 — failover must not wait for an operator). Returns how many
+  /// services moved; a service with no healthy region available stays put
+  /// and is retried next sweep. Pair with
+  /// MultiRegionTopology::SyncRegionHealth when outages are scripted on a
+  /// fault injector.
+  Result<int64_t> HealthCheckOnce();
+
   int64_t failovers() const;
+  /// Subset of failovers() initiated by HealthCheckOnce.
+  int64_t auto_failovers() const;
 
  private:
   MultiRegionTopology* topology_;
   mutable std::mutex mu_;
   std::map<std::string, std::string> primaries_;
   int64_t failovers_ = 0;
+  int64_t auto_failovers_ = 0;
 };
 
 /// Active/passive consumption (Section 6, Figure 7): a single logical

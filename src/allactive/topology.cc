@@ -26,6 +26,23 @@ MultiRegionTopology::MultiRegionTopology(const std::vector<std::string>& region_
   }
 }
 
+void MultiRegionTopology::SetFaultInjector(common::FaultInjector* faults) {
+  faults_ = faults;
+  for (Route& route : routes_) route.replicator->SetFaultInjector(faults);
+}
+
+void MultiRegionTopology::SyncRegionHealth() {
+  if (faults_ == nullptr) return;
+  for (auto& region : regions_) {
+    const bool down = faults_->IsDown("region." + region->name());
+    if (down && region->healthy()) {
+      region->Fail();
+    } else if (!down && !region->healthy()) {
+      region->Restore();
+    }
+  }
+}
+
 Region* MultiRegionTopology::GetRegion(const std::string& name) {
   auto it = regions_by_name_.find(name);
   return it == regions_by_name_.end() ? nullptr : it->second;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "stream/broker.h"
 #include "stream/ureplicator.h"
@@ -86,6 +87,17 @@ class MultiRegionTopology {
                                       const std::string& from_region,
                                       const std::string& to_region);
 
+  /// Attaches the process-wide fault plane: region availability is then
+  /// driven by IsDown("region.<name>") via SyncRegionHealth, and every
+  /// replication route consults "ureplicator.copy.<route>".
+  void SetFaultInjector(common::FaultInjector* faults);
+
+  /// Reconciles every region's availability with the fault plane's
+  /// scripted outages: Fail()s regions inside an outage window, Restore()s
+  /// them outside. No-op without an injector. With an injector attached the
+  /// fault plane is the single source of truth for region health.
+  void SyncRegionHealth();
+
  private:
   struct Route {
     std::string source_region;
@@ -93,6 +105,7 @@ class MultiRegionTopology {
     std::unique_ptr<stream::UReplicator> replicator;
   };
 
+  common::FaultInjector* faults_ = nullptr;
   std::vector<std::unique_ptr<Region>> regions_;
   std::map<std::string, Region*> regions_by_name_;
   std::vector<Route> routes_;

@@ -1,0 +1,57 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uberrt::common {
+
+RetryPolicy::RetryPolicy(std::string name, RetryOptions options, Clock* clock,
+                         MetricsRegistry* metrics, uint64_t seed)
+    : name_(std::move(name)), options_(options), clock_(clock), rng_(seed) {
+  MetricsRegistry* reg = metrics != nullptr ? metrics : &owned_metrics_;
+  attempts_ = reg->GetCounter("retries." + name_ + ".attempts");
+  retries_ = reg->GetCounter("retries." + name_ + ".retries");
+  success_ = reg->GetCounter("retries." + name_ + ".success");
+  exhausted_ = reg->GetCounter("retries." + name_ + ".exhausted");
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op) {
+  const TimestampMs start_ms = clock_->NowMs();
+  int32_t attempt = 1;
+  attempts_->Increment();
+  Status result = op();
+  while (!result.ok() && ShouldRetry(result, attempt, start_ms)) {
+    ++attempt;
+    attempts_->Increment();
+    retries_->Increment();
+    result = op();
+  }
+  (result.ok() ? success_ : exhausted_)->Increment();
+  return result;
+}
+
+bool RetryPolicy::ShouldRetry(const Status& failed, int32_t attempt,
+                              TimestampMs start_ms) {
+  if (!IsRetryable(failed)) return false;
+  if (attempt >= options_.max_attempts) return false;
+  double backoff = static_cast<double>(options_.initial_backoff_ms) *
+                   std::pow(options_.multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_ms));
+  if (options_.jitter > 0.0 && backoff > 0.0) {
+    double factor;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      factor = 1.0 - options_.jitter + 2.0 * options_.jitter * rng_.NextDouble();
+    }
+    backoff *= factor;
+  }
+  const int64_t sleep_ms = static_cast<int64_t>(backoff);
+  if (options_.deadline_ms >= 0) {
+    const int64_t elapsed = clock_->NowMs() - start_ms;
+    if (elapsed + sleep_ms > options_.deadline_ms) return false;
+  }
+  if (sleep_ms > 0) clock_->SleepMs(sleep_ms);
+  return true;
+}
+
+}  // namespace uberrt::common

@@ -1,0 +1,100 @@
+#ifndef UBERRT_COMMON_RETRY_H_
+#define UBERRT_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace uberrt::common {
+
+struct RetryOptions {
+  /// Total attempts including the first (so max_attempts - 1 retries).
+  int32_t max_attempts = 5;
+  /// Backoff before retry n (1-based) is initial * multiplier^(n-1),
+  /// capped at max_backoff_ms, then jittered.
+  int64_t initial_backoff_ms = 1;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 64;
+  /// Fraction of the backoff randomized away: sleep is uniform in
+  /// [backoff * (1 - jitter), backoff * (1 + jitter)].
+  double jitter = 0.25;
+  /// If >= 0, no retry is attempted once (elapsed + next backoff) would
+  /// exceed this budget, measured from the first attempt.
+  int64_t deadline_ms = -1;
+};
+
+/// Named retry loop with exponential backoff + jitter, the load-bearing
+/// pattern for every transient-failure path (store puts, broker produces,
+/// checkpoint save/load, OLAP sub-queries). Retries only transient codes
+/// (see IsRetryable); everything else passes straight through.
+///
+/// Publishes, into the registry it was given (or an internal one):
+///   retries.<name>.attempts   every invocation of the wrapped op
+///   retries.<name>.retries    re-invocations after a retryable failure
+///   retries.<name>.success    Run() calls that ended Ok
+///   retries.<name>.exhausted  Run() calls that gave up (budget or code)
+///
+/// Thread safe: one policy can serve concurrent callers (jitter randomness
+/// is mutex-guarded, counters are atomic).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(std::string name, RetryOptions options = {},
+                       Clock* clock = SystemClock::Instance(),
+                       MetricsRegistry* metrics = nullptr, uint64_t seed = 42);
+
+  /// True for the transient codes worth retrying.
+  static bool IsRetryable(const Status& status) {
+    return status.IsUnavailable() || status.IsTimeout() ||
+           status.code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Runs `op` until it returns Ok, a non-retryable code, or the budget
+  /// (attempts / deadline) is exhausted. Returns the last status.
+  Status Run(const std::function<Status()>& op);
+
+  /// Result<T>-shaped variant of Run with the same budget and metrics.
+  template <typename T>
+  Result<T> RunResult(const std::function<Result<T>()>& op) {
+    const TimestampMs start_ms = clock_->NowMs();
+    int32_t attempt = 1;
+    attempts_->Increment();
+    Result<T> result = op();
+    while (!result.ok() && ShouldRetry(result.status(), attempt, start_ms)) {
+      ++attempt;
+      attempts_->Increment();
+      retries_->Increment();
+      result = op();
+    }
+    (result.ok() ? success_ : exhausted_)->Increment();
+    return result;
+  }
+
+  const std::string& name() const { return name_; }
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  /// Decides whether attempt `attempt` (1-based) that failed with `failed`
+  /// should be followed by another; sleeps the jittered backoff when so.
+  bool ShouldRetry(const Status& failed, int32_t attempt, TimestampMs start_ms);
+
+  const std::string name_;
+  const RetryOptions options_;
+  Clock* const clock_;
+  MetricsRegistry owned_metrics_;  // used when no registry is injected
+  std::mutex mu_;
+  Rng rng_;  // guarded by mu_
+  Counter* attempts_;
+  Counter* retries_;
+  Counter* success_;
+  Counter* exhausted_;
+};
+
+}  // namespace uberrt::common
+
+#endif  // UBERRT_COMMON_RETRY_H_

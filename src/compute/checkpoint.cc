@@ -25,6 +25,27 @@ bool ReadString(const std::string& data, size_t* pos, std::string* out) {
   return true;
 }
 
+/// Exception-free decimal parse. Checkpoint blobs come off the object store
+/// and may be truncated or corrupt; std::stoll would throw on them.
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  int64_t value = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    if (value > (INT64_MAX - (s[i] - '0')) / 10) return false;  // overflow
+    value = value * 10 + (s[i] - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
 }  // namespace
 
 std::string CheckpointData::Encode() const {
@@ -45,9 +66,17 @@ Result<CheckpointData> CheckpointData::Decode(const std::string& blob) {
   if (!ReadString(blob, &pos, &sequence_str) || !ReadString(blob, &pos, &count_str)) {
     return Status::Corruption("checkpoint header truncated");
   }
-  data.sequence = std::stoll(sequence_str);
-  size_t count = static_cast<size_t>(std::stoull(count_str));
-  for (size_t i = 0; i < count; ++i) {
+  int64_t count = 0;
+  if (!ParseInt64(sequence_str, &data.sequence) || !ParseInt64(count_str, &count) ||
+      count < 0) {
+    return Status::Corruption("checkpoint header corrupt");
+  }
+  // Each entry needs at least 8 bytes of length prefixes; a count larger
+  // than the remaining bytes allow is corruption, not a huge allocation.
+  if (static_cast<size_t>(count) > (blob.size() - pos) / 8 + 1) {
+    return Status::Corruption("checkpoint entry count exceeds blob size");
+  }
+  for (int64_t i = 0; i < count; ++i) {
     std::string key, value;
     if (!ReadString(blob, &pos, &key) || !ReadString(blob, &pos, &value)) {
       return Status::Corruption("checkpoint entry truncated");
@@ -75,7 +104,11 @@ Result<CheckpointData> CheckpointStore::Load(int64_t sequence) const {
 Result<int64_t> CheckpointStore::LatestSequence() const {
   Result<std::string> latest = store_->Get(prefix_ + "/" + job_ + "/LATEST");
   if (!latest.ok()) return latest.status();
-  return std::stoll(latest.value());
+  int64_t sequence = 0;
+  if (!ParseInt64(latest.value(), &sequence)) {
+    return Status::Corruption("LATEST pointer corrupt: " + latest.value());
+  }
+  return sequence;
 }
 
 Result<CheckpointData> CheckpointStore::LoadLatest() const {

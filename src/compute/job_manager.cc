@@ -55,7 +55,11 @@ Result<CheckpointData> RedistributeKeyedState(const CheckpointData& data,
 
 JobManager::JobManager(stream::MessageBus* bus, storage::ObjectStore* store,
                        JobManagerOptions options)
-    : bus_(bus), store_(store), options_(options) {}
+    : bus_(bus),
+      store_(store),
+      options_(options),
+      checkpoint_retry_("checkpoint", common::RetryOptions{},
+                        SystemClock::Instance(), &metrics_) {}
 
 JobManager::~JobManager() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -74,6 +78,9 @@ Result<std::string> JobManager::Submit(const JobGraph& graph,
   job->runner_options = runner_options;
   if (job->runner_options.executor == nullptr) {
     job->runner_options.executor = options_.default_executor;
+  }
+  if (job->runner_options.checkpoint_retry == nullptr) {
+    job->runner_options.checkpoint_retry = &checkpoint_retry_;
   }
   job->parallelism = graph.transforms().empty() ? 1 : graph.transforms()[0].parallelism;
   job->runner = std::make_unique<JobRunner>(job->graph, bus_, store_, job->runner_options);
@@ -136,7 +143,8 @@ Status JobManager::RestartFromCheckpoint(ManagedJob* job, int32_t new_parallelis
   if (new_parallelism != job->parallelism) {
     // Rescale: rewrite the latest checkpoint with state re-bucketed.
     CheckpointStore checkpoints(store_, job->runner_options.checkpoint_prefix, job->id);
-    Result<CheckpointData> latest = checkpoints.LoadLatest();
+    Result<CheckpointData> latest = checkpoint_retry_.RunResult<CheckpointData>(
+        [&] { return checkpoints.LoadLatest(); });
     if (latest.ok()) {
       Result<CheckpointData> redistributed = RedistributeKeyedState(
           latest.value(), job->graph, job->parallelism, new_parallelism);
@@ -165,11 +173,21 @@ Status JobManager::Tick() {
       job->state = JobState::kFinished;
       continue;
     }
+    // Injected crash: cancel the runner exactly as a process kill would;
+    // the crash-detection branch below restarts it in this same sweep.
+    if (faults_ != nullptr && job->runner->IsRunning() &&
+        !faults_->Check("job.crash." + id).ok()) {
+      job->runner->Cancel();
+    }
     if (!job->runner->IsRunning()) {
       // Crash detected: automatic failure recovery from the last checkpoint.
       ++job->restarts;
       Status restarted = RestartFromCheckpoint(job, job->parallelism);
-      if (!restarted.ok()) job->state = JobState::kFailed;
+      // A transiently-down checkpoint store is not a dead job: leave it
+      // kRunning so the next sweep retries the restart.
+      if (!restarted.ok() && !common::RetryPolicy::IsRetryable(restarted)) {
+        job->state = JobState::kFailed;
+      }
       continue;
     }
     // Periodic checkpoint.
@@ -186,7 +204,9 @@ Status JobManager::Tick() {
       ++job->rescales;
       int32_t new_parallelism = std::min(options_.max_parallelism, job->parallelism * 2);
       Status rescaled = RestartFromCheckpoint(job, new_parallelism);
-      if (!rescaled.ok()) job->state = JobState::kFailed;
+      if (!rescaled.ok() && !common::RetryPolicy::IsRetryable(rescaled)) {
+        job->state = JobState::kFailed;
+      }
     }
   }
   return Status::Ok();

@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "compute/job_graph.h"
 #include "compute/job_runner.h"
@@ -75,8 +78,19 @@ class JobManager {
   /// periodic checkpoints. Deterministic (no internal timer thread).
   Status Tick();
 
-  /// Test hook: hard-kills the job's runner as if the process crashed.
+  /// Compat shim over the unified fault plane: hard-kills the job's runner
+  /// as if the process crashed. New code scripts a one-shot
+  /// "job.crash.<id>" rule on the injector instead.
   Status InjectFailure(const std::string& id);
+
+  /// Attaches the process-wide fault plane. Each Tick consults
+  /// Check("job.crash.<id>") per running job; an injected fault cancels the
+  /// runner (simulated crash), and the same sweep's crash detection restarts
+  /// it from the latest checkpoint.
+  void SetFaultInjector(common::FaultInjector* faults) { faults_ = faults; }
+
+  /// Registry holding the manager's retries.checkpoint.* counters.
+  MetricsRegistry* metrics() { return &metrics_; }
 
   /// Direct access for assertions in tests.
   JobRunner* GetRunner(const std::string& id);
@@ -99,6 +113,10 @@ class JobManager {
   stream::MessageBus* bus_;
   storage::ObjectStore* store_;
   JobManagerOptions options_;
+  common::FaultInjector* faults_ = nullptr;
+  MetricsRegistry metrics_;
+  /// Shared by every managed runner's checkpoint Save/Load (see Submit).
+  common::RetryPolicy checkpoint_retry_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<ManagedJob>> jobs_;
   int64_t next_id_ = 0;

@@ -83,7 +83,9 @@ struct JobRunner::Instance {
 
 struct JobRunner::SourceState {
   SourceSpec spec;
-  std::vector<int64_t> positions;
+  /// Next offset to fetch, per partition. Atomic because the owner poll task
+  /// advances it while SourceLag() reads it from the caller's thread.
+  std::vector<std::atomic<int64_t>> positions;
   int time_field_index = -1;
   /// Per-partition max event time (as in Flink's per-partition Kafka
   /// watermarking): the source watermark is the min over partitions that
@@ -166,7 +168,8 @@ Status JobRunner::BuildTopology() {
                                 : spec.schema.FieldIndex(spec.time_field);
     Result<int32_t> partitions = bus_->NumPartitions(spec.topic);
     if (!partitions.ok()) return partitions.status();
-    src->positions.resize(static_cast<size_t>(partitions.value()), 0);
+    src->positions = std::vector<std::atomic<int64_t>>(
+        static_cast<size_t>(partitions.value()));
     src->partition_max_event_time.resize(static_cast<size_t>(partitions.value()),
                                          INT64_MIN);
     for (int32_t p = 0; p < partitions.value(); ++p) {
@@ -276,8 +279,14 @@ Status JobRunner::Start() {
 
 Status JobRunner::RestoreFromCheckpoint(int64_t sequence) {
   if (running_.load()) return Status::FailedPrecondition("job already started");
+  auto load = [&] {
+    return sequence < 0 ? checkpoint_store_.LoadLatest()
+                        : checkpoint_store_.Load(sequence);
+  };
   Result<CheckpointData> data =
-      sequence < 0 ? checkpoint_store_.LoadLatest() : checkpoint_store_.Load(sequence);
+      options_.checkpoint_retry != nullptr
+          ? options_.checkpoint_retry->RunResult<CheckpointData>(load)
+          : load();
   if (!data.ok()) return data.status();
   restored_ = std::move(data.value());
   has_restored_ = true;
@@ -426,7 +435,7 @@ void JobRunner::RunSource(size_t source_index) {
     src.end_targets.resize(src.positions.size());
     for (size_t p = 0; p < src.positions.size(); ++p) {
       Result<int64_t> end = bus_->EndOffset(src.spec.topic, static_cast<int32_t>(p));
-      src.end_targets[p] = end.ok() ? end.value() : src.positions[p];
+      src.end_targets[p] = end.ok() ? end.value() : src.positions[p].load();
     }
   }
   bool got_data = false;
@@ -670,7 +679,7 @@ Result<int64_t> JobRunner::TriggerCheckpoint() {
     const SourceState& src = *source_states_[si];
     for (size_t p = 0; p < src.positions.size(); ++p) {
       data.entries["source." + std::to_string(si) + "." + std::to_string(p)] =
-          std::to_string(src.positions[p]);
+          std::to_string(src.positions[p].load());
     }
   }
   for (size_t s = 0; s + 1 < stages_.size(); ++s) {
@@ -679,7 +688,12 @@ Result<int64_t> JobRunner::TriggerCheckpoint() {
           inst->op->SnapshotState();
     }
   }
-  Status saved = checkpoint_store_.Save(data);
+  // Save is idempotent (same keys, same bytes), so retrying the whole write
+  // after a transient store failure is safe.
+  Status saved = options_.checkpoint_retry != nullptr
+                     ? options_.checkpoint_retry->Run(
+                           [&] { return checkpoint_store_.Save(data); })
+                     : checkpoint_store_.Save(data);
   pause_sources_.store(false);
   if (!saved.ok()) return saved;
   return data.sequence;

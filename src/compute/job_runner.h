@@ -12,6 +12,7 @@
 #include "common/executor.h"
 #include "common/metrics.h"
 #include "common/queue.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "compute/checkpoint.h"
 #include "compute/job_graph.h"
@@ -39,6 +40,10 @@ struct JobRunnerOptions {
   /// operator-instance count.
   common::Executor* executor = nullptr;
   size_t pool_threads = 4;
+  /// Retry policy wrapped around checkpoint Save/Load against the object
+  /// store; nullptr means one attempt (the seed behaviour). The policy is
+  /// borrowed (typically from the JobManager) and must outlive the runner.
+  common::RetryPolicy* checkpoint_retry = nullptr;
 };
 
 /// Streaming dataflow executor — the Flink substitute (Section 4.2).

@@ -24,18 +24,21 @@ compute::JobManagerOptions PlatformJobManagerOptions(common::Executor* executor)
 }  // namespace
 
 RealtimePlatform::RealtimePlatform(Options options)
-    : executor_(PlatformExecutorOptions(options)),
+    : faults_(options.fault_seed),
+      executor_(PlatformExecutorOptions(options)),
       olap_(&federation_, &store_, &executor_),
       job_manager_(&federation_, &store_, PlatformJobManagerOptions(&executor_)),
       presto_(&catalog_) {
+  store_.SetFaultInjector(&faults_);
+  olap_.SetFaultInjector(&faults_);
+  job_manager_.SetFaultInjector(&faults_);
   for (int32_t i = 0; i < options.num_stream_clusters; ++i) {
     stream::BrokerOptions broker_options;
     broker_options.num_nodes = 100;
-    federation_
-        .AddCluster(std::make_unique<stream::Broker>("cluster-" + std::to_string(i),
-                                                     broker_options),
-                    options.cluster_topic_capacity)
-        .ok();
+    auto broker = std::make_unique<stream::Broker>("cluster-" + std::to_string(i),
+                                                   broker_options);
+    broker->SetFaultInjector(&faults_);
+    federation_.AddCluster(std::move(broker), options.cluster_topic_capacity).ok();
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "compute/flink_sql.h"
 #include "compute/job_manager.h"
@@ -49,6 +50,8 @@ class RealtimePlatform {
     /// Threads in the process-wide executor every layer shares (OLAP
     /// scatter-gather, job runners, ...). 0 picks the executor default.
     size_t executor_threads = 0;
+    /// Seed for the process-wide fault plane (chaos runs re-seed here).
+    uint64_t fault_seed = 42;
   };
 
   RealtimePlatform() : RealtimePlatform(Options()) {}
@@ -56,6 +59,10 @@ class RealtimePlatform {
 
   // --- Layer access (advanced / test use) --------------------------------
   common::Executor* executor() { return &executor_; }
+  /// The process-wide fault plane: every layer consults it, so one SetRule
+  /// here injects faults at any named site ("store.put", "broker.produce.*",
+  /// "olap.server.query.*", "job.crash.<id>", ...).
+  common::FaultInjector* faults() { return &faults_; }
   stream::KafkaFederation* streams() { return &federation_; }
   storage::InMemoryObjectStore* store() { return &store_; }
   metadata::SchemaRegistry* registry() { return &registry_; }
@@ -129,6 +136,9 @@ class RealtimePlatform {
  private:
   void MarkUsage(const std::string& actor, const std::string& layer);
 
+  // Declared first so it is destroyed last: every layer below holds a raw
+  // pointer to it and may consult it while tearing down.
+  common::FaultInjector faults_;
   storage::InMemoryObjectStore store_;
   stream::KafkaFederation federation_;
   metadata::SchemaRegistry registry_;

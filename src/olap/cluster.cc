@@ -179,6 +179,16 @@ Result<std::shared_ptr<OlapCluster::Table>> OlapCluster::FindTable(
   return it->second;
 }
 
+Status OlapCluster::ArchivePut(const std::string& key, const std::string& blob) const {
+  int64_t attempts = 0;
+  Status put = backup_retry_->Run([&] {
+    ++attempts;
+    return store_->Put(key, blob);
+  });
+  if (attempts > 1) backup_retries_->Increment(attempts - 1);
+  return put;
+}
+
 Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
                                ServerPartition* sp, bool force) {
   Result<std::shared_ptr<Segment>> sealed = sp->data->SealIfNeeded(force);
@@ -191,7 +201,7 @@ Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
   if (t->options.archival_mode == ArchivalMode::kSyncCentralized) {
     // One controller, synchronous backup: a store failure blocks this
     // partition's ingestion until the backup succeeds.
-    Status put = store_->Put(key, blob);
+    Status put = ArchivePut(key, blob);
     if (!put.ok()) {
       sp->archival_blocked = true;
       std::lock_guard<std::mutex> alock(t->archival_mu);
@@ -240,7 +250,7 @@ Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
           std::lock_guard<std::mutex> alock(t->archival_mu);
           while (!t->archival_queue.empty()) {
             PendingArchive& pending = t->archival_queue.front();
-            if (!store_->Put(pending.key, pending.blob).ok()) {
+            if (!ArchivePut(pending.key, pending.blob).ok()) {
               unblocked = false;
               break;
             }
@@ -364,16 +374,28 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
   std::vector<ServerPartial> partials(t->servers.size());
   auto run_server = [&](size_t si) {
     ServerPartial& out = partials[si];
-    for (const auto& [partition_id, sp] : t->servers[si].partitions) {
-      if (routed_partition >= 0 && partition_id != routed_partition) continue;
-      out.touched = true;
-      Result<OlapResult> partial = sp.data->Execute(query, &out.stats);
-      if (!partial.ok()) {
-        out.status = partial.status();
-        return;
+    const std::string site = "olap.server.query." + std::to_string(si);
+    // Transient sub-query failures (injected or real) are retried with
+    // backoff before the gather ever sees them.
+    int64_t attempts = 0;
+    out.status = query_retry_->Run([&] {
+      ++attempts;
+      out.rows.clear();
+      out.stats = OlapQueryStats{};
+      out.touched = false;
+      if (faults_ != nullptr) {
+        UBERRT_RETURN_IF_ERROR(faults_->Check(site));
       }
-      for (Row& row : partial.value().rows) out.rows.push_back(std::move(row));
-    }
+      for (const auto& [partition_id, sp] : t->servers[si].partitions) {
+        if (routed_partition >= 0 && partition_id != routed_partition) continue;
+        out.touched = true;
+        Result<OlapResult> partial = sp.data->Execute(query, &out.stats);
+        if (!partial.ok()) return partial.status();
+        for (Row& row : partial.value().rows) out.rows.push_back(std::move(row));
+      }
+      return Status::Ok();
+    });
+    if (attempts > 1) query_retries_->Increment(attempts - 1);
   };
 
   common::Executor* exec = executor_;
@@ -398,7 +420,16 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
   OlapQueryStats stats;
   std::vector<Row> rows;
   for (ServerPartial& p : partials) {
-    if (!p.status.ok()) return p.status;
+    if (!p.status.ok()) {
+      // Degraded mode: a server that stayed down after retries is dropped
+      // from the merge instead of failing the query (Section 4.3's
+      // availability-over-completeness trade, opt-in per query).
+      if (query.allow_partial) {
+        ++stats.servers_failed;
+        continue;
+      }
+      return p.status;
+    }
     stats.segments_scanned += p.stats.segments_scanned;
     stats.rows_scanned += p.stats.rows_scanned;
     stats.star_tree_hits += p.stats.star_tree_hits;
@@ -435,7 +466,9 @@ Result<int64_t> OlapCluster::DrainArchivalQueue(const std::string& table) {
   int64_t archived = 0;
   while (!t->archival_queue.empty()) {
     PendingArchive& pending = t->archival_queue.front();
-    if (!store_->Put(pending.key, pending.blob).ok()) break;  // retry later
+    // Backed-off retries inside ArchivePut; if the store is still down after
+    // that, the segment stays queued (and counted) for the next drain.
+    if (!ArchivePut(pending.key, pending.blob).ok()) break;
     ++archived;
     t->archival_queue.pop_front();
   }

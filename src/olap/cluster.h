@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "olap/query.h"
 #include "olap/table.h"
@@ -73,10 +75,26 @@ class OlapCluster {
               common::Executor* executor = nullptr)
       : bus_(bus), store_(segment_store), executor_(executor) {
     queries_executing_ = metrics_.GetGauge("olap.queries_executing");
+    backup_retries_ = metrics_.GetCounter("olap.backup_retries");
+    query_retries_ = metrics_.GetCounter("olap.query_retries");
+    common::RetryOptions backup_opts;
+    backup_opts.max_attempts = 4;
+    backup_retry_ = std::make_unique<common::RetryPolicy>(
+        "olap.backup", backup_opts, SystemClock::Instance(), &metrics_);
+    common::RetryOptions query_opts;
+    query_opts.max_attempts = 3;
+    query_retry_ = std::make_unique<common::RetryPolicy>(
+        "olap.query", query_opts, SystemClock::Instance(), &metrics_);
   }
 
   /// Swaps the scatter-gather pool; nullptr restores the serial path.
   void SetExecutor(common::Executor* executor) { executor_ = executor; }
+
+  /// Attaches the process-wide fault plane: per-server sub-queries consult
+  /// Check("olap.server.query.<id>") and retry (or, with
+  /// OlapQuery::allow_partial, drop the server from the gather). Archival
+  /// puts observe store faults indirectly through the store itself.
+  void SetFaultInjector(common::FaultInjector* faults) { faults_ = faults; }
 
   /// Registers a table ingesting from `source_topic` (must exist; its
   /// partition count defines the table's partitions).
@@ -175,14 +193,22 @@ class OlapCluster {
   Result<std::shared_ptr<Table>> FindTable(const std::string& table) const;
   Status HandleSeal(Table* t, Server* server, int32_t partition_id,
                     ServerPartition* sp, bool force = false);
+  /// Store put with backoff: every retry is counted in olap.backup_retries
+  /// so archival pressure during store flaps is observable.
+  Status ArchivePut(const std::string& key, const std::string& blob) const;
 
   stream::MessageBus* bus_;
   storage::ObjectStore* store_;
   common::Executor* executor_;
+  common::FaultInjector* faults_ = nullptr;
   mutable std::mutex mu_;  // table-map membership only
   std::map<std::string, std::shared_ptr<Table>> tables_;
   mutable MetricsRegistry metrics_;
   Gauge* queries_executing_;
+  Counter* backup_retries_ = nullptr;
+  Counter* query_retries_ = nullptr;
+  std::unique_ptr<common::RetryPolicy> backup_retry_;
+  std::unique_ptr<common::RetryPolicy> query_retry_;
 
  public:
   MetricsRegistry* metrics() { return &metrics_; }

@@ -64,6 +64,10 @@ struct OlapQuery {
   std::string order_by;
   bool order_desc = true;
   int64_t limit = -1;  ///< -1 = unlimited
+  /// Degraded-mode switch: when true, a server whose sub-query still fails
+  /// after retries is dropped from the gather (stats.servers_failed counts
+  /// it) instead of failing the whole query. Default keeps strict semantics.
+  bool allow_partial = false;
 };
 
 /// Mergeable partial aggregate. Segments return *partial* rows — group
@@ -95,6 +99,7 @@ struct OlapQueryStats {
   int64_t rows_scanned = 0;      ///< rows visited by scans (0 for pure index hits)
   int64_t star_tree_hits = 0;    ///< segments answered from the star-tree
   int64_t servers_queried = 0;
+  int64_t servers_failed = 0;    ///< sub-queries dropped (allow_partial only)
 };
 
 struct OlapResult {

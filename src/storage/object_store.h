@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -65,18 +66,29 @@ class InMemoryObjectStore : public ObjectStore {
   /// Failure injection: while unavailable every operation returns
   /// Unavailable, the situation the paper says "caused all data ingestion to
   /// come to a halt" with the centralized segment store.
+  ///
+  /// Compat shim over the unified fault plane: new code should script the
+  /// store through a FaultInjector ("store", "store.put", "store.get",
+  /// "store.delete") attached via SetFaultInjector.
   void SetAvailable(bool available);
   bool available() const;
+
+  /// Attaches the process-wide fault plane. Put/Get/Delete consult
+  /// Check("store.<op>"), Exists/List consult IsDown("store"). Pass nullptr
+  /// to detach. Not synchronized with in-flight operations: attach before
+  /// sharing the store across threads.
+  void SetFaultInjector(common::FaultInjector* faults) { faults_ = faults; }
 
   /// Operation counters (puts/gets/failures), for the recovery benches.
   const MetricsRegistry& metrics() const { return metrics_; }
   MetricsRegistry* mutable_metrics() { return &metrics_; }
 
  private:
-  Status CheckAvailable(const char* op) const;
+  Status CheckAvailable(const char* op, const char* site) const;
 
   ObjectStoreOptions options_;
   Clock* clock_;
+  common::FaultInjector* faults_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, std::string> objects_;
   int64_t total_bytes_ = 0;

@@ -24,6 +24,8 @@ Broker::Broker(std::string name, BrokerOptions options, Clock* clock)
     : name_(std::move(name)),
       options_(options),
       clock_(clock),
+      produce_site_("broker.produce." + name_),
+      fetch_site_("broker.fetch." + name_),
       produced_counter_(metrics_.GetCounter("broker." + name_ + ".produced")),
       dropped_counter_(metrics_.GetCounter("broker." + name_ + ".dropped")),
       retention_dropped_counter_(
@@ -130,6 +132,11 @@ Result<ProduceResult> Broker::Produce(const std::string& topic, Message message,
     }
     return Status::Unavailable("cluster " + name_ + " down");
   }
+  // Injected faults fire before the append: an error return always means the
+  // message was not stored, so lossless producers see acked-or-error.
+  if (common::FaultInjector* faults = faults_.load(std::memory_order_acquire)) {
+    UBERRT_RETURN_IF_ERROR(faults->Check(produce_site_));
+  }
   SpinCoordinationWork(ack);
   int32_t partition = message.partition;
   int32_t num_partitions = static_cast<int32_t>(t->partitions.size());
@@ -176,6 +183,9 @@ Result<std::vector<Message>> Broker::Fetch(const std::string& topic, int32_t par
   std::shared_ptr<Topic> t = std::move(found.value());
   if (!available_.load(std::memory_order_acquire)) {
     return Status::Unavailable("cluster " + name_ + " down");
+  }
+  if (common::FaultInjector* faults = faults_.load(std::memory_order_acquire)) {
+    UBERRT_RETURN_IF_ERROR(faults->Check(fetch_site_));
   }
   if (partition < 0 || partition >= static_cast<int32_t>(t->partitions.size())) {
     return Status::InvalidArgument("partition out of range");

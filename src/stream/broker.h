@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "stream/log.h"
@@ -123,6 +124,14 @@ class Broker : public MessageBus {
   void SetAvailable(bool available);
   bool available() const;
 
+  /// Attaches the process-wide fault plane. Produce consults
+  /// Check("broker.produce.<name>") and Fetch Check("broker.fetch.<name>")
+  /// after the availability gate, so an injected produce fault always means
+  /// the message was NOT appended (acked-or-error for lossless topics).
+  void SetFaultInjector(common::FaultInjector* faults) {
+    faults_.store(faults, std::memory_order_release);
+  }
+
   MetricsRegistry* metrics() { return &metrics_; }
 
  private:
@@ -159,6 +168,10 @@ class Broker : public MessageBus {
   mutable std::mutex offsets_mu_;  // guards committed_
   std::map<std::string, int64_t> committed_;  // group\0topic\0partition -> offset
   std::atomic<bool> available_{true};
+  std::atomic<common::FaultInjector*> faults_{nullptr};
+  // Cached site names so the hot path does not concatenate per call.
+  std::string produce_site_;
+  std::string fetch_site_;
   mutable MetricsRegistry metrics_;
   // Hot-path counters resolved once; MetricsRegistry pointers are stable.
   Counter* produced_counter_;

@@ -13,6 +13,7 @@ ConsumerProxy::ConsumerProxy(MessageBus* bus, std::string topic, std::string gro
       group_(std::move(group)),
       endpoint_(std::move(endpoint)),
       options_(options),
+      dispatch_site_("proxy.dispatch." + topic_),
       dlq_(bus, DlqOptions{options.max_retries}) {}
 
 ConsumerProxy::~ConsumerProxy() { Stop(); }
@@ -120,7 +121,9 @@ void ConsumerProxy::WorkerTask() {
       return;
     }
     dispatched_.fetch_add(1);
-    Status result = endpoint_(*message);
+    Status result = options_.faults != nullptr ? options_.faults->Check(dispatch_site_)
+                                               : Status::Ok();
+    if (result.ok()) result = endpoint_(*message);
     if (result.ok()) {
       succeeded_.fetch_add(1);
     } else {

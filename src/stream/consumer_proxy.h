@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
@@ -48,6 +49,10 @@ struct ConsumerProxyOptions {
     /// private pool of num_workers threads. Either way at most num_workers
     /// dispatches run concurrently; the pool size only bounds OS threads.
     common::Executor* executor = nullptr;
+    /// Optional fault plane: each dispatch consults
+    /// Check("proxy.dispatch.<topic>") before invoking the endpoint; an
+    /// injected fault counts as an endpoint failure (retry, then DLQ).
+    common::FaultInjector* faults = nullptr;
 };
 
 class ConsumerProxy {
@@ -91,6 +96,7 @@ class ConsumerProxy {
   std::string group_;
   Endpoint endpoint_;
   ConsumerProxyOptions options_;
+  std::string dispatch_site_;  // "proxy.dispatch.<topic>", cached
   DlqManager dlq_;
 
   // Serializes Start/Stop so two threads cannot race the pool and queue

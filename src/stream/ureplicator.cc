@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/retry.h"
 
 namespace uberrt::stream {
 
@@ -67,6 +68,7 @@ UReplicator::UReplicator(Broker* source, Broker* destination, std::string route,
     : source_(source),
       destination_(destination),
       route_(std::move(route)),
+      copy_site_("ureplicator.copy." + route_),
       mapping_store_(mapping_store),
       options_(options) {
   for (int32_t i = 0; i < options_.num_workers; ++i) {
@@ -246,6 +248,13 @@ Result<int64_t> UReplicator::RunOnce() {
         for (const auto& [tp_ptr, state] : parts) {
           const TopicPartition& tp = *tp_ptr;
           if (remaining <= 0) break;
+          // Injected copy faults and transient broker errors skip the
+          // partition for this cycle — it stays at source_position and is
+          // retried next pump, so faults only ever add lag.
+          if (options_.faults != nullptr && !options_.faults->Check(copy_site_).ok()) {
+            transient_skips_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           size_t want = std::min<int64_t>(static_cast<int64_t>(options_.batch_size),
                                           remaining);
           Result<std::vector<Message>> batch =
@@ -257,15 +266,27 @@ Result<int64_t> UReplicator::RunOnce() {
               if (begin.ok()) state->source_position = begin.value();
               continue;
             }
+            if (common::RetryPolicy::IsRetryable(batch.status())) {
+              transient_skips_.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
             out->status = batch.status();
             return;
           }
+          bool partition_blocked = false;
           for (const Message& m : batch.value()) {
             Message copy = m;
             copy.offset = -1;  // destination assigns its own offsets
             Result<ProduceResult> produced =
                 destination_->Produce(tp.topic, std::move(copy), AckMode::kLeader);
             if (!produced.ok()) {
+              if (common::RetryPolicy::IsRetryable(produced.status())) {
+                // Everything before this message is already copied and
+                // position-tracked; resume from here next cycle.
+                transient_skips_.fetch_add(1, std::memory_order_relaxed);
+                partition_blocked = true;
+                break;
+              }
               out->status = produced.status();
               return;
             }
@@ -280,6 +301,7 @@ Result<int64_t> UReplicator::RunOnce() {
               state->since_checkpoint = 0;
             }
           }
+          if (partition_blocked) continue;  // next partition; retried next cycle
         }
       };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "stream/broker.h"
@@ -109,6 +110,11 @@ struct UReplicatorOptions {
   /// worker's partitions are pumped serially (deterministic order, the mode
   /// the rebalance tests rely on).
   common::Executor* executor = nullptr;
+  /// Optional fault plane: each partition pump consults
+  /// Check("ureplicator.copy.<route>"); injected faults (and transient
+  /// Unavailable/Timeout broker errors) skip the partition for this cycle
+  /// instead of failing the pump — replication lag, never data loss.
+  common::FaultInjector* faults = nullptr;
 };
 
 /// Cross-cluster replicator; see file comment above.
@@ -128,6 +134,13 @@ class UReplicator {
   /// Starts replicating a topic; creates the destination topic when absent.
   /// Partitions are assigned to the least-loaded active workers.
   Status AddTopic(const std::string& topic);
+
+  /// Attaches (or detaches, with nullptr) the fault plane after
+  /// construction; equivalent to UReplicatorOptions::faults.
+  void SetFaultInjector(common::FaultInjector* faults) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.faults = faults;
+  }
 
   /// Worker lifecycle. Returns how many partitions moved, which is the
   /// metric the paper's rebalancing claim is about.
@@ -155,6 +168,12 @@ class UReplicator {
     return partitions_moved_total_.load(std::memory_order_relaxed);
   }
 
+  /// Partition pumps skipped this far because of injected faults or
+  /// transient broker errors (the copy retries next cycle).
+  int64_t transient_skips() const {
+    return transient_skips_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct PartitionState {
     int32_t owner = -1;
@@ -169,6 +188,7 @@ class UReplicator {
   Broker* source_;
   Broker* destination_;
   std::string route_;
+  std::string copy_site_;  // "ureplicator.copy.<route>", cached
   OffsetMappingStore* mapping_store_;
   UReplicatorOptions options_;
 
@@ -180,6 +200,7 @@ class UReplicator {
   // Atomic: read by the accessor without taking mu_ while RunOnce/rebalance
   // threads bump it under the lock.
   std::atomic<int64_t> partitions_moved_total_{0};
+  std::atomic<int64_t> transient_skips_{0};
 };
 
 }  // namespace uberrt::stream

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/retry.h"
+
+namespace uberrt::common {
+namespace {
+
+TEST(FaultInjectorTest, NoRulesMeansEveryCheckPasses) {
+  FaultInjector faults;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(faults.Check("store.put").ok());
+  }
+  EXPECT_FALSE(faults.IsDown("store.put"));
+  EXPECT_EQ(faults.metrics()->GetCounter("faults.injected")->value(), 0);
+  EXPECT_EQ(faults.metrics()->GetCounter("faults.checks")->value(), 100);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFiresWithConfiguredCode) {
+  FaultInjector faults;
+  FaultRule rule;
+  rule.error_probability = 1.0;
+  rule.error_code = StatusCode::kTimeout;
+  faults.SetRule("broker.produce", rule);
+  Status status = faults.Check("broker.produce");
+  EXPECT_TRUE(status.IsTimeout());
+  // Other sites unaffected.
+  EXPECT_TRUE(faults.Check("store.put").ok());
+  faults.ClearRule("broker.produce");
+  EXPECT_TRUE(faults.Check("broker.produce").ok());
+}
+
+TEST(FaultInjectorTest, PrefixRuleGovernsChildSites) {
+  FaultInjector faults;
+  faults.SetDown("store", true);
+  EXPECT_FALSE(faults.Check("store.put").ok());
+  EXPECT_FALSE(faults.Check("store.get").ok());
+  EXPECT_TRUE(faults.IsDown("store.delete"));
+  // Prefix match is on dot boundaries, not raw string prefixes.
+  EXPECT_TRUE(faults.Check("storefront.put").ok());
+  EXPECT_FALSE(faults.IsDown("storefront"));
+  faults.SetDown("store", false);
+  EXPECT_TRUE(faults.Check("store.put").ok());
+}
+
+TEST(FaultInjectorTest, OutageWindowsFollowTheInjectedClock) {
+  SimulatedClock clock(0);
+  FaultInjector faults(7, &clock);
+  faults.ScheduleOutage("region.dca", 100, 200);
+  EXPECT_TRUE(faults.Check("region.dca").ok());
+  EXPECT_FALSE(faults.IsDown("region.dca"));
+  clock.SetMs(100);
+  EXPECT_TRUE(faults.IsDown("region.dca"));
+  EXPECT_TRUE(faults.Check("region.dca").IsUnavailable());
+  clock.SetMs(199);
+  EXPECT_TRUE(faults.IsDown("region.dca"));
+  clock.SetMs(200);  // half-open: end is exclusive
+  EXPECT_FALSE(faults.IsDown("region.dca"));
+  EXPECT_TRUE(faults.Check("region.dca").ok());
+}
+
+TEST(FaultInjectorTest, MaxTriggersMakesOneShotFaults) {
+  FaultInjector faults;
+  FaultRule rule;
+  rule.error_probability = 1.0;
+  rule.max_triggers = 1;
+  faults.SetRule("job.crash.j1", rule);
+  EXPECT_FALSE(faults.Check("job.crash.j1").ok());
+  // The budget is spent: subsequent checks pass.
+  EXPECT_TRUE(faults.Check("job.crash.j1").ok());
+  EXPECT_TRUE(faults.Check("job.crash.j1").ok());
+}
+
+TEST(FaultInjectorTest, AddedLatencyAdvancesTheClock) {
+  SimulatedClock clock(0);
+  FaultInjector faults(7, &clock);
+  FaultRule rule;
+  rule.added_latency_ms = 25;
+  faults.SetRule("olap.server.query", rule);
+  EXPECT_TRUE(faults.Check("olap.server.query.0").ok());
+  EXPECT_EQ(clock.NowMs(), 25);
+}
+
+TEST(FaultInjectorTest, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector faults(seed);
+    FaultRule rule;
+    rule.error_probability = 0.5;
+    faults.SetRule("site", rule);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) outcomes.push_back(faults.Check("site").ok());
+    return outcomes;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(1337));
+}
+
+TEST(FaultInjectorTest, MetricsCountPerSiteInjections) {
+  FaultInjector faults;
+  FaultRule rule;
+  rule.error_probability = 1.0;
+  faults.SetRule("store.put", rule);
+  faults.Check("store.put").ok();
+  faults.Check("store.put").ok();
+  EXPECT_EQ(faults.metrics()->GetCounter("faults.store.put.injected")->value(), 2);
+  EXPECT_EQ(faults.metrics()->GetCounter("faults.injected")->value(), 2);
+}
+
+TEST(RetryPolicyTest, SucceedsAfterTransientFailures) {
+  SimulatedClock clock(0);
+  RetryPolicy policy("test", RetryOptions{}, &clock);
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_GT(clock.NowMs(), 0);  // backoff slept on the injected clock
+}
+
+TEST(RetryPolicyTest, NonRetryableCodePassesStraightThrough) {
+  SimulatedClock clock(0);
+  RetryPolicy policy("test", RetryOptions{}, &clock);
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return Status::InvalidArgument("bad");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMs(), 0);
+}
+
+TEST(RetryPolicyTest, ExhaustsAfterMaxAttempts) {
+  SimulatedClock clock(0);
+  RetryOptions options;
+  options.max_attempts = 3;
+  MetricsRegistry metrics;
+  RetryPolicy policy("flaky", options, &clock, &metrics);
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return Status::Timeout("never");
+  });
+  EXPECT_TRUE(status.IsTimeout());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(metrics.GetCounter("retries.flaky.attempts")->value(), 3);
+  EXPECT_EQ(metrics.GetCounter("retries.flaky.retries")->value(), 2);
+  EXPECT_EQ(metrics.GetCounter("retries.flaky.exhausted")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("retries.flaky.success")->value(), 0);
+}
+
+TEST(RetryPolicyTest, DeadlineBudgetStopsRetriesEarly) {
+  SimulatedClock clock(0);
+  RetryOptions options;
+  options.max_attempts = 100;
+  options.initial_backoff_ms = 40;
+  options.multiplier = 1.0;
+  options.max_backoff_ms = 40;
+  options.jitter = 0.0;
+  options.deadline_ms = 100;
+  RetryPolicy policy("deadline", options, &clock);
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(status.IsUnavailable());
+  // 40ms per backoff into a 100ms budget: attempts at t=0, 40, 80; the next
+  // backoff would land at 120 > 100, so exactly 3 calls.
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, RunResultRetriesAndReturnsValue) {
+  SimulatedClock clock(0);
+  RetryPolicy policy("result", RetryOptions{}, &clock);
+  int calls = 0;
+  Result<int> result = policy.RunResult<int>([&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("flaky");
+    return 17;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 17);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryPolicyTest, IsRetryableClassifiesCodes) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Unavailable("x")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Timeout("x")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::NotFound("x")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Corruption("x")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Ok()));
+}
+
+}  // namespace
+}  // namespace uberrt::common

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compute/checkpoint.h"
+#include "storage/object_store.h"
+
+namespace uberrt::compute {
+namespace {
+
+CheckpointData SampleData() {
+  CheckpointData data;
+  data.sequence = 7;
+  data.entries["source.0.0"] = "42";
+  data.entries["op.0.0"] = std::string("\x00\x01\x02", 3);
+  return data;
+}
+
+TEST(CheckpointDataTest, EncodeDecodeRoundtrip) {
+  CheckpointData data = SampleData();
+  Result<CheckpointData> decoded = CheckpointData::Decode(data.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sequence, 7);
+  EXPECT_EQ(decoded.value().entries, data.entries);
+}
+
+TEST(CheckpointDataTest, TruncatedBlobsAreCorruptionNotCrash) {
+  std::string blob = SampleData().Encode();
+  // Every possible truncation point must decode to an error, never throw or
+  // read out of bounds.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Result<CheckpointData> decoded = CheckpointData::Decode(blob.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "truncated at " << len;
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "truncated at " << len;
+  }
+}
+
+TEST(CheckpointDataTest, GarbageHeaderFieldsAreCorruption) {
+  // Hand-build a blob whose length-prefixed header fields hold non-numeric
+  // text where the decoder expects decimal sequence/count.
+  auto field = [](const std::string& s) {
+    uint32_t len = static_cast<uint32_t>(s.size());
+    std::string out(reinterpret_cast<const char*>(&len), 4);
+    return out + s;
+  };
+  Result<CheckpointData> bad_seq = CheckpointData::Decode(field("abc") + field("0"));
+  EXPECT_TRUE(bad_seq.status().IsCorruption());
+  Result<CheckpointData> bad_count = CheckpointData::Decode(field("1") + field("xyz"));
+  EXPECT_TRUE(bad_count.status().IsCorruption());
+  Result<CheckpointData> neg_count = CheckpointData::Decode(field("1") + field("-4"));
+  EXPECT_TRUE(neg_count.status().IsCorruption());
+  // Overflowing digits must not wrap.
+  Result<CheckpointData> huge =
+      CheckpointData::Decode(field("999999999999999999999999") + field("0"));
+  EXPECT_TRUE(huge.status().IsCorruption());
+}
+
+TEST(CheckpointDataTest, HugeEntryCountRejectedWithoutAllocating) {
+  auto field = [](const std::string& s) {
+    uint32_t len = static_cast<uint32_t>(s.size());
+    std::string out(reinterpret_cast<const char*>(&len), 4);
+    return out + s;
+  };
+  // Claims 4 billion entries in a blob with room for none.
+  Result<CheckpointData> decoded =
+      CheckpointData::Decode(field("1") + field("4000000000"));
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(CheckpointDataTest, RandomBytesNeverCrash) {
+  // Deterministic pseudo-random garbage of varying length.
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int round = 0; round < 64; ++round) {
+    std::string blob;
+    for (int i = 0; i < round * 3; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      blob.push_back(static_cast<char>(x & 0xff));
+    }
+    CheckpointData::Decode(blob).ok();  // must simply not crash
+  }
+}
+
+TEST(CheckpointStoreTest, SaveLoadLatestRoundtrip) {
+  storage::InMemoryObjectStore store;
+  CheckpointStore checkpoints(&store, "checkpoints", "job1");
+  EXPECT_TRUE(checkpoints.LoadLatest().status().IsNotFound());
+  ASSERT_TRUE(checkpoints.Save(SampleData()).ok());
+  Result<CheckpointData> loaded = checkpoints.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().sequence, 7);
+}
+
+TEST(CheckpointStoreTest, LatestPointingAtDeletedCheckpointIsNotFound) {
+  storage::InMemoryObjectStore store;
+  CheckpointStore checkpoints(&store, "checkpoints", "job1");
+  ASSERT_TRUE(checkpoints.Save(SampleData()).ok());
+  // Simulate a half-completed cleanup: the checkpoint object is gone but
+  // LATEST still names it.
+  ASSERT_TRUE(store.Delete("checkpoints/job1/chk-7").ok());
+  Result<CheckpointData> loaded = checkpoints.LoadLatest();
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(CheckpointStoreTest, CorruptLatestPointerIsCorruption) {
+  storage::InMemoryObjectStore store;
+  CheckpointStore checkpoints(&store, "checkpoints", "job1");
+  ASSERT_TRUE(store.Put("checkpoints/job1/LATEST", "not-a-number").ok());
+  EXPECT_TRUE(checkpoints.LoadLatest().status().IsCorruption());
+  EXPECT_TRUE(checkpoints.LatestSequence().status().IsCorruption());
+}
+
+TEST(CheckpointStoreTest, CorruptCheckpointBlobSurfacesCorruption) {
+  storage::InMemoryObjectStore store;
+  CheckpointStore checkpoints(&store, "checkpoints", "job1");
+  ASSERT_TRUE(checkpoints.Save(SampleData()).ok());
+  ASSERT_TRUE(store.Put("checkpoints/job1/chk-7", "shredded").ok());
+  EXPECT_TRUE(checkpoints.LoadLatest().status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace uberrt::compute

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "common/fault_injector.h"
 #include "common/hash.h"
 #include "compute/backfill.h"
 #include "compute/baselines.h"
@@ -88,9 +89,15 @@ TEST_F(JobManagerTest, CrashedJobAutoRestartsFromCheckpointWithCorrectState) {
   JobRunner* runner = manager_->GetRunner(id.value());
   ASSERT_TRUE(runner->WaitUntilCaughtUp(10000).ok());
   ASSERT_TRUE(manager_->Tick().ok());  // takes a checkpoint
-  ASSERT_TRUE(manager_->InjectFailure(id.value()).ok());
 
-  // The monitor detects the dead runner and restarts it.
+  // Crash via the fault plane: a one-shot "job.crash.<id>" rule. The same
+  // Tick sweep that detects the dead runner restarts it from the checkpoint.
+  common::FaultInjector faults;
+  manager_->SetFaultInjector(&faults);
+  common::FaultRule crash;
+  crash.error_probability = 1.0;
+  crash.max_triggers = 1;
+  faults.SetRule("job.crash." + id.value(), crash);
   ASSERT_TRUE(manager_->Tick().ok());
   Result<JobInfo> info = manager_->GetJob(id.value());
   ASSERT_TRUE(info.ok());
@@ -106,6 +113,17 @@ TEST_F(JobManagerTest, CrashedJobAutoRestartsFromCheckpointWithCorrectState) {
   std::lock_guard<std::mutex> lock(mu);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0][2].AsInt(), 80);
+}
+
+TEST_F(JobManagerTest, InjectFailureShimStillKillsRunner) {
+  std::mutex mu;
+  std::vector<Row> results;
+  Result<std::string> id = manager_->Submit(CountingGraph(&results, &mu));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager_->InjectFailure(id.value()).ok());
+  EXPECT_FALSE(manager_->GetRunner(id.value())->IsRunning());
+  ASSERT_TRUE(manager_->Tick().ok());  // monitor restarts it
+  EXPECT_EQ(manager_->GetJob(id.value()).value().restarts, 1);
 }
 
 TEST_F(JobManagerTest, LagTriggersAutoScaleWithStateRedistribution) {

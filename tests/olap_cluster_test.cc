@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "olap/baselines.h"
 #include "olap/cluster.h"
 #include "stream/broker.h"
@@ -25,6 +26,7 @@ class OlapClusterTest : public ::testing::Test {
   void SetUp() override {
     broker_ = std::make_unique<Broker>("c1");
     store_ = std::make_unique<storage::InMemoryObjectStore>();
+    store_->SetFaultInjector(&faults_);
     cluster_ = std::make_unique<OlapCluster>(broker_.get(), store_.get());
     TopicConfig config;
     config.num_partitions = 4;
@@ -51,6 +53,7 @@ class OlapClusterTest : public ::testing::Test {
     return config;
   }
 
+  common::FaultInjector faults_;
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<storage::InMemoryObjectStore> store_;
   std::unique_ptr<OlapCluster> cluster_;
@@ -201,12 +204,12 @@ TEST_F(OlapClusterTest, SyncArchivalHaltsIngestionDuringStoreOutage) {
   ClusterTableOptions options;
   options.archival_mode = ArchivalMode::kSyncCentralized;
   ASSERT_TRUE(cluster_->CreateTable(config, "rides", options).ok());
-  store_->SetAvailable(false);
+  faults_.SetDown("store", true);
   for (int i = 0; i < 20; ++i) cluster_->IngestOnce("rides_t").ok();
   // Ingestion halted at the first seal: lag remains.
   EXPECT_GT(cluster_->IngestLag("rides_t").value(), 0);
   // Store recovers -> ingestion resumes and archives.
-  store_->SetAvailable(true);
+  faults_.SetDown("store", false);
   ASSERT_TRUE(cluster_->IngestAll("rides_t").ok());
   EXPECT_EQ(cluster_->IngestLag("rides_t").value(), 0);
   EXPECT_FALSE(store_->List("segments/rides_t/").empty());
@@ -218,13 +221,13 @@ TEST_F(OlapClusterTest, AsyncP2PKeepsIngestingDuringStoreOutage) {
   ClusterTableOptions options;
   options.archival_mode = ArchivalMode::kAsyncPeerToPeer;
   ASSERT_TRUE(cluster_->CreateTable(config, "rides", options).ok());
-  store_->SetAvailable(false);
+  faults_.SetDown("store", true);
   ASSERT_TRUE(cluster_->IngestAll("rides_t").ok());
   // Fully ingested despite the outage; archival queued.
   EXPECT_EQ(cluster_->IngestLag("rides_t").value(), 0);
   EXPECT_GT(cluster_->ArchivalQueueDepth("rides_t"), 0);
-  // Store back: queue drains.
-  store_->SetAvailable(true);
+  // Store back: queue drains (counting the earlier failures as retries).
+  faults_.SetDown("store", false);
   ASSERT_TRUE(cluster_->DrainArchivalQueue("rides_t").ok());
   EXPECT_EQ(cluster_->ArchivalQueueDepth("rides_t"), 0);
 }
@@ -239,7 +242,7 @@ TEST_F(OlapClusterTest, PeerToPeerRecoveryRestoresKilledServer) {
   int64_t rows_before = cluster_->NumRows("rides_t").value();
 
   // Kill server 0 while the archival store is down: only peers can help.
-  store_->SetAvailable(false);
+  faults_.SetDown("store", true);
   ASSERT_TRUE(cluster_->KillServer("rides_t", 0).ok());
   EXPECT_LT(cluster_->NumRows("rides_t").value(), rows_before);
   Result<RecoveryReport> report = cluster_->RecoverServer("rides_t", 0);
@@ -247,7 +250,7 @@ TEST_F(OlapClusterTest, PeerToPeerRecoveryRestoresKilledServer) {
   EXPECT_GT(report.value().segments_from_peers, 0);
   EXPECT_EQ(report.value().segments_lost, 0);
   EXPECT_EQ(cluster_->NumRows("rides_t").value(), rows_before);
-  store_->SetAvailable(true);
+  faults_.SetDown("store", false);
 }
 
 TEST(EsLikeStoreTest, QueryParityWithOlapSemantics) {

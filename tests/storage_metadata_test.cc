@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "metadata/schema_registry.h"
 #include "storage/archive.h"
 #include "storage/object_store.h"
@@ -7,6 +8,7 @@
 namespace uberrt {
 namespace {
 
+using common::FaultInjector;
 using metadata::SchemaRegistry;
 using storage::ArchiveTable;
 using storage::InMemoryObjectStore;
@@ -52,13 +54,26 @@ TEST(ObjectStoreTest, TotalBytesTracksWritesAndDeletes) {
 }
 
 TEST(ObjectStoreTest, OutageFailsEveryOperation) {
+  FaultInjector faults;
   InMemoryObjectStore store;
+  store.SetFaultInjector(&faults);
   store.Put("k", "v").ok();
-  store.SetAvailable(false);
+  faults.SetDown("store", true);
   EXPECT_TRUE(store.Put("k2", "v").IsUnavailable());
   EXPECT_TRUE(store.Get("k").status().IsUnavailable());
   EXPECT_FALSE(store.Exists("k"));
   EXPECT_TRUE(store.List("").empty());
+  EXPECT_GT(faults.metrics()->GetCounter("faults.store.put.injected")->value(), 0);
+  faults.SetDown("store", false);
+  EXPECT_EQ(store.Get("k").value(), "v");
+}
+
+// The legacy toggle stays as a thin compat shim over the same error path.
+TEST(ObjectStoreTest, SetAvailableShimStillWorks) {
+  InMemoryObjectStore store;
+  store.Put("k", "v").ok();
+  store.SetAvailable(false);
+  EXPECT_TRUE(store.Get("k").status().IsUnavailable());
   store.SetAvailable(true);
   EXPECT_EQ(store.Get("k").value(), "v");
 }
