@@ -118,16 +118,20 @@ int Main() {
     cluster.Query("orders_t", q).ok();
     es.Query(q).ok();
   }
+  bench::JsonReport report(
+      "c4", "ES memory 4x, disk 8x, query latency 2x-4x vs Pinot (Section 4.3)");
   double pinot_us = 0, es_us = 0;
   std::printf("%-34s %12s %12s %8s\n", "query", "pinot_us", "es_us", "ratio");
-  const char* names[] = {"filter+count", "range+agg", "groupby+orderby+limit",
-                         "multifilter+groupby"};
+  const char* names[] = {"filter_count", "range_agg", "groupby_orderby_limit",
+                         "multifilter_groupby"};
   for (size_t i = 0; i < queries.size(); ++i) {
     double p_us = bench::MeanUs(20, [&] { cluster.Query("orders_t", queries[i]).ok(); });
     double e_us = bench::MeanUs(20, [&] { es.Query(queries[i]).ok(); });
     pinot_us += p_us;
     es_us += e_us;
     std::printf("%-34s %12.1f %12.1f %7.2fx\n", names[i], p_us, e_us, e_us / p_us);
+    report.Metric(std::string(names[i]) + "_pinot_us", p_us);
+    report.Metric(std::string(names[i]) + "_es_us", e_us);
   }
   (void)es_memory_pre;
   int64_t es_memory = es.MemoryBytes();  // includes fielddata now loaded
@@ -149,6 +153,10 @@ int Main() {
               static_cast<double>(es_disk) / pinot_disk);
   std::printf("%-22s %14.1f %14.1f %7.2fx  (2x-4x)\n", "mean_query_latency_us",
               pinot_us / queries.size(), es_us / queries.size(), es_us / pinot_us);
+  report.Metric("memory_ratio", static_cast<double>(es_memory) / pinot_memory);
+  report.Metric("disk_ratio", static_cast<double>(es_disk) / pinot_disk);
+  report.Metric("mean_latency_ratio", es_us / pinot_us);
+  report.Write();
   return 0;
 }
 

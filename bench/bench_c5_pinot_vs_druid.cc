@@ -8,6 +8,15 @@
 // + bit-packed indexes and (b) a Druid-like segment (dictionary + inverted
 // only, plain 32-bit forward index), then compares aggregation latency per
 // index ablation and the data footprint.
+//
+// Also isolates the execution engine itself: the same bit-packed + inverted
+// segment runs a filtered group-by through the vectorized engine
+// (selection bitmaps + batched decode + packed group keys), the
+// row-at-a-time scalar oracle, and the Druid-like baseline. With
+// UBERRT_PERF_GATE set, exits non-zero if the vectorized engine is slower
+// than the scalar one (the CI perf smoke gate in ci.sh).
+
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -87,10 +96,16 @@ int Main() {
 
   struct Case {
     const char* name;
+    const char* json_name;
     const OlapQuery* query;
-  } cases[] = {{"groupby_agg (star-tree)", &cube},
-               {"eq_filter (sorted idx)", &sorted_eq},
-               {"range_filter (range idx)", &range}};
+  } cases[] = {{"groupby_agg (star-tree)", "groupby_star", &cube},
+               {"eq_filter (sorted idx)", "eq_sorted", &sorted_eq},
+               {"range_filter (range idx)", "range", &range}};
+
+  bench::JsonReport report(
+      "c5",
+      "Pinot-like indexes vs Druid-like plain store; vectorized engine vs "
+      "row-at-a-time scalar on identical storage");
 
   std::printf("%-28s %12s %12s %9s %s\n", "query", "pinot_us", "druid_us", "speedup",
               "pinot path");
@@ -103,7 +118,59 @@ int Main() {
                            : (pinot_stats.rows_scanned < kRows / 10 ? "index" : "scan");
     std::printf("%-28s %12.1f %12.1f %8.1fx %s\n", c.name, pinot_us, druid_us,
                 druid_us / pinot_us, path);
+    report.Metric(std::string(c.json_name) + "_pinot_us", pinot_us);
+    report.Metric(std::string(c.json_name) + "_druid_us", druid_us);
   }
+
+  // Engine ablation on identical storage: bit-packed + inverted on status,
+  // deliberately no star-tree so the filtered group-by actually executes.
+  // status EQ is index-served, fare GT runs as a residual scan predicate.
+  SegmentIndexConfig exec_config;
+  exec_config.inverted_columns = {"status"};
+  auto exec_segment = Segment::Build("exec", TripSchema(), rows, exec_config).value();
+
+  OlapQuery filtered_group_by;
+  filtered_group_by.group_by = {"hex"};
+  filtered_group_by.aggregations = {OlapAggregation::Count("n"),
+                                    OlapAggregation::Sum("fare", "s"),
+                                    OlapAggregation::Min("fare", "lo"),
+                                    OlapAggregation::Max("fare", "hi")};
+  filtered_group_by.filters = {
+      FilterPredicate::Eq("status", Value("completed")),
+      FilterPredicate::Range("fare", FilterPredicate::Op::kGt, Value(20.0))};
+
+  olap::OlapQueryStats vec_stats, scalar_stats, baseline_stats;
+  double vectorized_us = QueryUs(exec_segment, filtered_group_by, &vec_stats);
+  double scalar_us = bench::MeanUs(30, [&] {
+    olap::OlapQueryStats s;
+    olap::ScalarBaselineExecute(*exec_segment, filtered_group_by, &s).ok();
+    scalar_stats = s;
+  });
+  // The Druid-like baseline pairs the plain 32-bit store with the scalar
+  // engine: the seed's execution model end to end.
+  double baseline_us = bench::MeanUs(30, [&] {
+    olap::OlapQueryStats s;
+    olap::ScalarBaselineExecute(*druid, filtered_group_by, &s).ok();
+    baseline_stats = s;
+  });
+
+  std::printf("\n%-28s %12s %10s %12s %9s\n", "filtered group-by engine",
+              "latency_us", "vs scalar", "rows_scanned", "batches");
+  std::printf("%-28s %12.1f %9.2fx %12lld %9lld\n", "vectorized", vectorized_us,
+              scalar_us / vectorized_us,
+              static_cast<long long>(vec_stats.rows_scanned),
+              static_cast<long long>(vec_stats.exec_batches));
+  std::printf("%-28s %12.1f %9.2fx %12lld %9s\n", "scalar (oracle)", scalar_us, 1.0,
+              static_cast<long long>(scalar_stats.rows_scanned), "-");
+  std::printf("%-28s %12.1f %9.2fx %12lld %9s\n", "baseline (druid-like+scalar)",
+              baseline_us, scalar_us / baseline_us,
+              static_cast<long long>(baseline_stats.rows_scanned), "-");
+  report.Metric("filtered_groupby_vectorized_us", vectorized_us);
+  report.Metric("filtered_groupby_scalar_us", scalar_us);
+  report.Metric("filtered_groupby_baseline_us", baseline_us);
+  report.Metric("vectorized_speedup_vs_scalar", scalar_us / vectorized_us);
+  report.Metric("engine_exec_batches", static_cast<double>(vec_stats.exec_batches));
+  report.Metric("engine_bitmap_words", static_cast<double>(vec_stats.bitmap_words));
 
   std::printf("\n%-28s %14s %14s %8s\n", "footprint", "pinot", "druid", "ratio");
   std::printf("%-28s %14lld %14lld %7.2fx\n", "memory_bytes",
@@ -116,6 +183,21 @@ int Main() {
               static_cast<double>(druid->DiskBytes()) / pinot->DiskBytes());
   bench::Note("druid-like = dictionary + inverted index, 32-bit forward index, "
               "no star-tree/sorted/range specialization");
+  report.Metric("footprint_memory_ratio",
+                static_cast<double>(druid->MemoryBytes()) / pinot->MemoryBytes());
+  report.Metric("footprint_disk_ratio",
+                static_cast<double>(druid->DiskBytes()) / pinot->DiskBytes());
+  report.Write();
+
+  if (std::getenv("UBERRT_PERF_GATE") != nullptr) {
+    if (vectorized_us > scalar_us) {
+      std::printf("PERF GATE FAIL: vectorized %.1fus slower than scalar %.1fus\n",
+                  vectorized_us, scalar_us);
+      return 1;
+    }
+    std::printf("PERF GATE OK: vectorized %.2fx faster than scalar\n",
+                scalar_us / vectorized_us);
+  }
   return 0;
 }
 

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # CI gate, in two stages:
 #   1. tier-1: plain build + the full ctest suite (must stay green).
-#   2. sanitizers: the concurrency stress suites under AddressSanitizer and
-#      ThreadSanitizer — the enforcement mechanism for the lifetime and lock
-#      rules in DESIGN.md §5 (broker topic ownership, OLAP table ownership,
-#      the shared executor / cooperative JobRunner).
+#   2. sanitizers: the concurrency stress suites plus the vectorized/scalar
+#      parity fuzz under AddressSanitizer and ThreadSanitizer — the
+#      enforcement mechanism for the lifetime and lock rules in DESIGN.md §5
+#      (broker topic ownership, OLAP table ownership, the shared executor /
+#      cooperative JobRunner) and for the memory safety of the vectorized
+#      segment engine's raw-buffer kernels.
+#   3. perf smoke: bench_c5's filtered group-by in the Release tier-1 build
+#      must show the vectorized engine no slower than the scalar oracle
+#      (UBERRT_PERF_GATE); the honest ratio + core count land in BENCH_c5.json.
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -14,13 +19,13 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-CONCURRENCY_SUITES="common_executor_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test"
+CONCURRENCY_SUITES="common_executor_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test"
 for SAN in address thread; do
   echo "== sanitizer gate: ${SAN} =="
   cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
   cmake --build "build-${SAN}" -j --target \
     common_executor_test stream_broker_concurrency_test olap_cluster_concurrency_test \
-    chaos_soak_test
+    chaos_soak_test olap_vectorized_parity_test
   ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
 done
 
@@ -32,5 +37,11 @@ for SEED in 7 1337; do
   UBERRT_CHAOS_SEED="${SEED}" \
     ctest --test-dir build-thread --output-on-failure -R '^chaos_soak_test$'
 done
+
+# Perf smoke: the vectorized engine must not regress below the scalar
+# row-at-a-time oracle on the bench_c5 filtered group-by (Release build).
+echo "== perf smoke: vectorized vs scalar (bench_c5) =="
+cmake --build build -j --target bench_c5_pinot_vs_druid
+(cd build && UBERRT_PERF_GATE=1 ./bench/bench_c5_pinot_vs_druid)
 
 echo "CI OK"

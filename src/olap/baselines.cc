@@ -214,4 +214,10 @@ SegmentIndexConfig DruidLikeIndexConfig(const std::vector<std::string>& inverted
   return config;
 }
 
+Result<OlapResult> ScalarBaselineExecute(const Segment& segment, OlapQuery query,
+                                         OlapQueryStats* stats) {
+  query.force_scalar = true;
+  return segment.Execute(query, /*validity=*/nullptr, stats);
+}
+
 }  // namespace uberrt::olap

@@ -62,6 +62,13 @@ class EsLikeStore {
 /// forward index, star-tree, sorted or range specializations.
 SegmentIndexConfig DruidLikeIndexConfig(const std::vector<std::string>& inverted_columns);
 
+/// Runs `query` on `segment` through the row-at-a-time scalar engine
+/// (the pre-vectorization execution path, kept as the parity oracle). Used
+/// by the benches as the "scalar" engine under identical storage so the
+/// vectorized speedup is isolated from index/layout effects.
+Result<OlapResult> ScalarBaselineExecute(const Segment& segment, OlapQuery query,
+                                         OlapQueryStats* stats);
+
 }  // namespace uberrt::olap
 
 #endif  // UBERRT_OLAP_BASELINES_H_

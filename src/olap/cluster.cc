@@ -43,11 +43,10 @@ Result<OlapResult> MergeAndFinalize(const OlapQuery& query,
       if (partial.size() != num_groups + query.aggregations.size() * kAccumulatorFields) {
         return Status::Internal("partial row width mismatch");
       }
-      std::string key;
-      for (size_t g = 0; g < num_groups; ++g) {
-        key.append(partial[g].ToString());
-        key.push_back('\0');
-      }
+      // Typed row encoding: ToString-based keys conflated values across
+      // types (string "1" vs int 1) and embedded NULs.
+      Row key_prefix(partial.begin(), partial.begin() + static_cast<long>(num_groups));
+      std::string key = EncodeRow(key_prefix);
       GroupEntry& entry = groups[key];
       if (entry.accs.empty()) {
         entry.accs.resize(query.aggregations.size());
@@ -433,9 +432,13 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
     stats.segments_scanned += p.stats.segments_scanned;
     stats.rows_scanned += p.stats.rows_scanned;
     stats.star_tree_hits += p.stats.star_tree_hits;
+    stats.exec_batches += p.stats.exec_batches;
+    stats.bitmap_words += p.stats.bitmap_words;
     if (p.touched) ++stats.servers_queried;
     for (Row& row : p.rows) rows.push_back(std::move(row));
   }
+  if (stats.exec_batches > 0) exec_batches_->Increment(stats.exec_batches);
+  if (stats.bitmap_words > 0) exec_bitmap_words_->Increment(stats.bitmap_words);
   Result<OlapResult> merged = MergeAndFinalize(query, t->config.schema, std::move(rows));
   if (!merged.ok()) return merged;
   merged.value().stats = stats;

@@ -77,6 +77,8 @@ class OlapCluster {
     queries_executing_ = metrics_.GetGauge("olap.queries_executing");
     backup_retries_ = metrics_.GetCounter("olap.backup_retries");
     query_retries_ = metrics_.GetCounter("olap.query_retries");
+    exec_batches_ = metrics_.GetCounter("olap.exec.batches");
+    exec_bitmap_words_ = metrics_.GetCounter("olap.exec.bitmap_words");
     common::RetryOptions backup_opts;
     backup_opts.max_attempts = 4;
     backup_retry_ = std::make_unique<common::RetryPolicy>(
@@ -207,6 +209,10 @@ class OlapCluster {
   Gauge* queries_executing_;
   Counter* backup_retries_ = nullptr;
   Counter* query_retries_ = nullptr;
+  // Vectorized-engine activity, summed from per-query stats at gather time
+  // (cached handles: the query path never does a registry lookup).
+  Counter* exec_batches_ = nullptr;
+  Counter* exec_bitmap_words_ = nullptr;
   std::unique_ptr<common::RetryPolicy> backup_retry_;
   std::unique_ptr<common::RetryPolicy> query_retry_;
 

@@ -68,6 +68,11 @@ struct OlapQuery {
   /// after retries is dropped from the gather (stats.servers_failed counts
   /// it) instead of failing the whole query. Default keeps strict semantics.
   bool allow_partial = false;
+  /// Debug oracle: bypass the vectorized engine AND the star-tree and run
+  /// the row-at-a-time scalar path (per-value forward-index reads, boxed
+  /// Values, map-keyed groups). Kept compiled-in forever so the parity fuzz
+  /// can diff the vectorized engine against it on any query.
+  bool force_scalar = false;
 };
 
 /// Mergeable partial aggregate. Segments return *partial* rows — group
@@ -100,6 +105,8 @@ struct OlapQueryStats {
   int64_t star_tree_hits = 0;    ///< segments answered from the star-tree
   int64_t servers_queried = 0;
   int64_t servers_failed = 0;    ///< sub-queries dropped (allow_partial only)
+  int64_t exec_batches = 0;      ///< non-empty row batches the vectorized engine ran
+  int64_t bitmap_words = 0;      ///< words touched by selection-bitmap kernels
 };
 
 struct OlapResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <set>
 
 namespace uberrt::olap {
@@ -72,10 +73,26 @@ Value CoerceTo(ValueType type, const Value& v) {
   return v;
 }
 
+/// Big-endian u32: lexicographic order of the encoded bytes equals numeric
+/// order of the ids, so map-keyed group emission matches the vectorized
+/// engine's packed-key sort order exactly.
+void AppendU32BE(std::string* out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 8), static_cast<char>(v)};
+  out->append(buf, 4);
+}
+
+uint32_t ReadU32BE(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
 std::string EncodeIdTuple(const std::vector<uint32_t>& ids, size_t count) {
   std::string key;
   key.reserve(count * 4);
-  for (size_t i = 0; i < count; ++i) AppendU32(&key, ids[i]);
+  for (size_t i = 0; i < count; ++i) AppendU32BE(&key, ids[i]);
   return key;
 }
 
@@ -107,6 +124,37 @@ uint32_t BitPackedVector::Get(size_t index) const {
   uint64_t v = words_[word] >> shift;
   if (shift + bits_ > 64) v |= words_[word + 1] << (64 - shift);
   return static_cast<uint32_t>(v & ((1ULL << bits_) - 1));
+}
+
+void BitPackedVector::Unpack(size_t start, size_t count, uint32_t* out) const {
+  const uint64_t mask = (1ULL << bits_) - 1;
+  const size_t bits = static_cast<size_t>(bits_);
+  size_t bit = start * bits;
+  for (size_t i = 0; i < count; ++i, bit += bits) {
+    size_t word = bit >> 6;
+    size_t shift = bit & 63;
+    uint64_t v = words_[word] >> shift;
+    if (shift + bits > 64) v |= words_[word + 1] << (64 - shift);
+    out[i] = static_cast<uint32_t>(v & mask);
+  }
+}
+
+Result<BitPackedVector> BitPackedVector::FromWords(int bits, size_t size,
+                                                   std::vector<uint64_t> words) {
+  if (bits < 1 || bits > 32) {
+    return Status::Corruption("bit-packed vector: bad bit width");
+  }
+  if (size > (std::numeric_limits<size_t>::max() - 63) / static_cast<size_t>(bits)) {
+    return Status::Corruption("bit-packed vector: size overflow");
+  }
+  if (words.size() != (size * static_cast<size_t>(bits) + 63) / 64) {
+    return Status::Corruption("bit-packed vector: word count mismatch");
+  }
+  BitPackedVector v;
+  v.bits_ = bits;
+  v.size_ = size;
+  v.words_ = std::move(words);
+  return v;
 }
 
 // --- AggAccumulator helpers (shared partial-aggregate layout) -------------
@@ -165,6 +213,23 @@ Result<AggAccumulator> ReadAccumulator(const Row& row, size_t offset) {
 }
 
 // --- Segment build ---------------------------------------------------------
+
+void Segment::Column::UnpackRange(size_t start, size_t count, uint32_t* out) const {
+  if (!plain.empty()) {
+    std::memcpy(out, plain.data() + start, count * sizeof(uint32_t));
+  } else {
+    packed.Unpack(start, count, out);
+  }
+}
+
+void Segment::BuildNumericDictionaries() {
+  for (Column& column : columns_) {
+    column.dict_numeric.resize(column.dictionary.size());
+    for (size_t i = 0; i < column.dictionary.size(); ++i) {
+      column.dict_numeric[i] = column.dictionary[i].ToNumeric();
+    }
+  }
+}
 
 int64_t Segment::Column::MemoryBytes() const {
   int64_t bytes = 64;
@@ -228,20 +293,28 @@ Result<std::shared_ptr<Segment>> Segment::Build(std::string name, RowSchema sche
     }
   }
 
+  segment->BuildNumericDictionaries();
   segment->BuildIndexes(config);
   return segment;
 }
 
 void Segment::BuildIndexes(const SegmentIndexConfig& config) {
-  // Inverted indexes.
+  constexpr size_t kBatch = 1024;
+  std::vector<uint32_t> batch(std::min(kBatch, std::max<size_t>(num_rows_, 1)));
+
+  // Inverted indexes (batch-decoded forward index instead of per-row Get).
   for (const std::string& name : config.inverted_columns) {
     int idx = schema_.FieldIndex(name);
     if (idx < 0) continue;
     Column& column = columns_[static_cast<size_t>(idx)];
     column.has_inverted = true;
     column.inverted.assign(column.dictionary.size(), {});
-    for (size_t r = 0; r < num_rows_; ++r) {
-      column.inverted[column.IdAt(r)].push_back(static_cast<uint32_t>(r));
+    for (size_t base = 0; base < num_rows_; base += kBatch) {
+      size_t count = std::min(kBatch, num_rows_ - base);
+      column.UnpackRange(base, count, batch.data());
+      for (size_t i = 0; i < count; ++i) {
+        column.inverted[batch[i]].push_back(static_cast<uint32_t>(base + i));
+      }
     }
   }
 
@@ -264,37 +337,50 @@ void Segment::BuildIndexes(const SegmentIndexConfig& config) {
   star_root_.sum.assign(num_metrics, 0);
   star_root_.min.assign(num_metrics, 0);
   star_root_.max.assign(num_metrics, 0);
+  std::vector<std::vector<uint32_t>> dim_ids(
+      star_dims_.size(), std::vector<uint32_t>(batch.size()));
+  std::vector<std::vector<uint32_t>> metric_ids(
+      num_metrics, std::vector<uint32_t>(batch.size()));
   std::vector<uint32_t> ids(star_dims_.size());
-  for (size_t r = 0; r < num_rows_; ++r) {
+  std::vector<double> metric_values(num_metrics);
+  for (size_t base = 0; base < num_rows_; base += kBatch) {
+    size_t count = std::min(kBatch, num_rows_ - base);
     for (size_t d = 0; d < star_dims_.size(); ++d) {
-      ids[d] = columns_[static_cast<size_t>(star_dims_[d])].IdAt(r);
+      columns_[static_cast<size_t>(star_dims_[d])].UnpackRange(base, count,
+                                                              dim_ids[d].data());
     }
-    std::vector<double> metric_values(num_metrics);
     for (size_t m = 0; m < num_metrics; ++m) {
-      const Column& mc = columns_[static_cast<size_t>(star_metrics_[m])];
-      metric_values[m] = mc.dictionary[mc.IdAt(r)].ToNumeric();
+      columns_[static_cast<size_t>(star_metrics_[m])].UnpackRange(
+          base, count, metric_ids[m].data());
     }
-    auto update = [&](StarTreeCell& cell) {
-      if (cell.sum.empty()) {
-        cell.sum.assign(num_metrics, 0);
-        cell.min.assign(num_metrics, 0);
-        cell.max.assign(num_metrics, 0);
-      }
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t d = 0; d < star_dims_.size(); ++d) ids[d] = dim_ids[d][i];
       for (size_t m = 0; m < num_metrics; ++m) {
-        if (cell.count == 0) {
-          cell.min[m] = metric_values[m];
-          cell.max[m] = metric_values[m];
-        } else {
-          cell.min[m] = std::min(cell.min[m], metric_values[m]);
-          cell.max[m] = std::max(cell.max[m], metric_values[m]);
-        }
-        cell.sum[m] += metric_values[m];
+        const Column& mc = columns_[static_cast<size_t>(star_metrics_[m])];
+        metric_values[m] = mc.dict_numeric[metric_ids[m][i]];
       }
-      ++cell.count;
-    };
-    update(star_root_);
-    for (size_t k = 1; k <= star_dims_.size(); ++k) {
-      update(star_tree_[k - 1][EncodeIdTuple(ids, k)]);
+      auto update = [&](StarTreeCell& cell) {
+        if (cell.sum.empty()) {
+          cell.sum.assign(num_metrics, 0);
+          cell.min.assign(num_metrics, 0);
+          cell.max.assign(num_metrics, 0);
+        }
+        for (size_t m = 0; m < num_metrics; ++m) {
+          if (cell.count == 0) {
+            cell.min[m] = metric_values[m];
+            cell.max[m] = metric_values[m];
+          } else {
+            cell.min[m] = std::min(cell.min[m], metric_values[m]);
+            cell.max[m] = std::max(cell.max[m], metric_values[m]);
+          }
+          cell.sum[m] += metric_values[m];
+        }
+        ++cell.count;
+      };
+      update(star_root_);
+      for (size_t k = 1; k <= star_dims_.size(); ++k) {
+        update(star_tree_[k - 1][EncodeIdTuple(ids, k)]);
+      }
     }
   }
 }
@@ -530,7 +616,7 @@ bool Segment::TryStarTree(const OlapQuery& query, const std::vector<bool>* valid
     Row key_values;
     for (int pos : group_positions) {
       uint32_t id = prefix_ids[static_cast<size_t>(pos)];
-      AppendU32(&group_key, id);
+      AppendU32BE(&group_key, id);
       const Column& column =
           columns_[static_cast<size_t>(star_dims_[static_cast<size_t>(pos)])];
       key_values.push_back(column.dictionary[id]);
@@ -560,7 +646,7 @@ bool Segment::TryStarTree(const OlapQuery& query, const std::vector<bool>* valid
     std::vector<uint32_t> ids(max_prefix);
     for (const auto& [key, cell] : level) {
       for (size_t d = 0; d < max_prefix; ++d) {
-        std::memcpy(&ids[d], key.data() + d * 4, 4);
+        ids[d] = ReadU32BE(key.data() + d * 4);
       }
       bool match = true;
       for (const auto& [pos, id] : id_filters) {
@@ -587,17 +673,31 @@ bool Segment::TryStarTree(const OlapQuery& query, const std::vector<bool>* valid
 Result<OlapResult> Segment::Execute(const OlapQuery& query,
                                     const std::vector<bool>* validity,
                                     OlapQueryStats* stats) const {
-  OlapResult result;
   ++stats->segments_scanned;
+  if (query.force_scalar) return ExecuteScalar(query, validity, stats);
   if (!query.aggregations.empty()) {
+    OlapResult result;
     if (TryStarTree(query, validity, &result)) {
       ++stats->star_tree_hits;
       return result;
     }
+  }
+  return ExecuteVectorized(query, validity, stats);
+}
+
+Result<OlapResult> Segment::ExecuteScalar(const OlapQuery& query,
+                                          const std::vector<bool>* validity,
+                                          OlapQueryStats* stats) const {
+  OlapResult result;
+  if (!query.aggregations.empty()) {
+    int64_t scanned_before = stats->rows_scanned;
     bool all = false;
     Result<std::vector<uint32_t>> rows =
         FilterRows(query.filters, &all, &stats->rows_scanned);
     if (!rows.ok()) return rows.status();
+    // One accounting per row per query: when the filter phase already
+    // examined rows (scan predicates), the aggregate phase adds nothing.
+    const bool filter_scanned = stats->rows_scanned != scanned_before;
 
     std::vector<int> group_indices;
     for (const std::string& g : query.group_by) {
@@ -621,9 +721,10 @@ Result<OlapResult> Segment::Execute(const OlapQuery& query,
     std::map<std::string, GroupEntry> groups;
     auto process_row = [&](uint32_t r) {
       if (validity != nullptr && !(*validity)[r]) return;
+      if (!filter_scanned) ++stats->rows_scanned;
       std::string group_key;
       for (int idx : group_indices) {
-        AppendU32(&group_key, columns_[static_cast<size_t>(idx)].IdAt(r));
+        AppendU32BE(&group_key, columns_[static_cast<size_t>(idx)].IdAt(r));
       }
       GroupEntry& entry = groups[group_key];
       if (entry.accs.empty()) {
@@ -638,10 +739,8 @@ Result<OlapResult> Segment::Execute(const OlapQuery& query,
       }
     };
     if (all) {
-      stats->rows_scanned += static_cast<int64_t>(num_rows_);
       for (size_t r = 0; r < num_rows_; ++r) process_row(static_cast<uint32_t>(r));
     } else {
-      stats->rows_scanned += static_cast<int64_t>(rows.value().size());
       for (uint32_t r : rows.value()) process_row(r);
     }
     for (auto& [key, entry] : groups) {
@@ -662,12 +761,15 @@ Result<OlapResult> Segment::Execute(const OlapQuery& query,
     if (idx < 0) return Status::InvalidArgument("unknown column: " + s);
     select_indices.push_back(idx);
   }
+  int64_t scanned_before = stats->rows_scanned;
   bool all = false;
   Result<std::vector<uint32_t>> rows =
       FilterRows(query.filters, &all, &stats->rows_scanned);
   if (!rows.ok()) return rows.status();
+  const bool filter_scanned = stats->rows_scanned != scanned_before;
   auto emit = [&](uint32_t r) {
     if (validity != nullptr && !(*validity)[r]) return true;
+    if (!filter_scanned) ++stats->rows_scanned;
     Row row;
     row.reserve(select_indices.size());
     for (int idx : select_indices) row.push_back(GetValue(r, idx));
@@ -678,12 +780,10 @@ Result<OlapResult> Segment::Execute(const OlapQuery& query,
   };
   if (all) {
     for (size_t r = 0; r < num_rows_; ++r) {
-      ++stats->rows_scanned;
       if (!emit(static_cast<uint32_t>(r))) break;
     }
   } else {
     for (uint32_t r : rows.value()) {
-      ++stats->rows_scanned;
       if (!emit(r)) break;
     }
   }
@@ -775,6 +875,8 @@ Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
                                 ? -1
                                 : segment->schema_.FieldIndex(config.sorted_column);
   segment->columns_.resize(num_fields);
+  constexpr size_t kBatch = 1024;
+  std::vector<uint32_t> batch(kBatch);
   for (uint32_t c = 0; c < num_fields; ++c) {
     Column& column = segment->columns_[c];
     column.type = fields[c].type;
@@ -783,38 +885,45 @@ Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
     Result<Row> dict = DecodeRow(dict_blob);
     if (!dict.ok()) return dict.status();
     column.dictionary = std::move(dict.value());
+    const uint32_t dict_size = static_cast<uint32_t>(column.dictionary.size());
     if (!config.bit_packed_forward_index) {
+      if (num_rows > (blob.size() - pos) / 4) return corrupt();
       column.plain.resize(num_rows);
       for (uint64_t r = 0; r < num_rows; ++r) {
         if (!ReadU32(blob, &pos, &column.plain[r])) return corrupt();
+        if (column.plain[r] >= dict_size) {
+          return Status::Corruption("segment blob: dict id out of range");
+        }
       }
     } else {
       uint32_t bits;
       uint64_t num_words;
       if (!ReadU32(blob, &pos, &bits)) return corrupt();
       if (!ReadU64(blob, &pos, &num_words)) return corrupt();
-      std::vector<uint32_t> ids(num_rows);
-      // Reconstruct via a temporary word array then unpack through a local
-      // BitPackedVector with the same geometry.
+      if (num_words > (blob.size() - pos) / 8) return corrupt();
       std::vector<uint64_t> words(num_words);
       for (uint64_t w = 0; w < num_words; ++w) {
         if (!ReadU64(blob, &pos, &words[w])) return corrupt();
       }
-      // Rebuild by unpacking manually.
-      for (uint64_t r = 0; r < num_rows; ++r) {
-        size_t bit = static_cast<size_t>(r) * bits;
-        size_t word = bit / 64;
-        int shift = static_cast<int>(bit % 64);
-        uint64_t v = words[word] >> shift;
-        if (shift + static_cast<int>(bits) > 64) v |= words[word + 1] << (64 - shift);
-        ids[r] = static_cast<uint32_t>(v & ((1ULL << bits) - 1));
+      // Adopt the serialized words directly (no unpack/repack round trip),
+      // then batch-decode once to validate every id against the dictionary
+      // so hostile blobs can't drive out-of-range lookups later.
+      Result<BitPackedVector> packed =
+          BitPackedVector::FromWords(static_cast<int>(bits), num_rows, std::move(words));
+      if (!packed.ok()) return packed.status();
+      column.packed = std::move(packed.value());
+      for (uint64_t base = 0; base < num_rows; base += kBatch) {
+        size_t count = static_cast<size_t>(std::min<uint64_t>(kBatch, num_rows - base));
+        column.packed.Unpack(base, count, batch.data());
+        for (size_t i = 0; i < count; ++i) {
+          if (batch[i] >= dict_size) {
+            return Status::Corruption("segment blob: dict id out of range");
+          }
+        }
       }
-      uint32_t max_id = column.dictionary.empty()
-                            ? 0
-                            : static_cast<uint32_t>(column.dictionary.size() - 1);
-      column.packed = BitPackedVector(ids, max_id);
     }
   }
+  segment->BuildNumericDictionaries();
   segment->BuildIndexes(config);
   return segment;
 }

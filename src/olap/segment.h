@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "olap/bitmap.h"
 #include "olap/query.h"
 
 namespace uberrt::olap {
@@ -22,7 +23,19 @@ class BitPackedVector {
   /// Packs `values`, sizing cells for `max_value`.
   BitPackedVector(const std::vector<uint32_t>& values, uint32_t max_value);
 
+  /// Adopts an already-packed word array (deserialization fast path — no
+  /// unpack/repack round trip). `bits` must be in [1, 32] and `words` must
+  /// hold exactly ceil(size*bits/64) entries.
+  static Result<BitPackedVector> FromWords(int bits, size_t size,
+                                           std::vector<uint64_t> words);
+
   uint32_t Get(size_t index) const;
+  /// Batch decoder: writes `count` dict ids starting at row `start` into
+  /// `out`. One pass over the underlying words instead of per-value bit
+  /// arithmetic; the vectorized engine calls this with 1-4K rows at a time
+  /// into a reusable buffer (also used by index rebuild and blob
+  /// validation on deserialize).
+  void Unpack(size_t start, size_t count, uint32_t* out) const;
   size_t size() const { return size_; }
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(words_.capacity() * sizeof(uint64_t)) + 24;
@@ -76,6 +89,11 @@ class Segment {
   /// Grouped results are keyed rows [group cols..., agg accumulators...]
   /// merged later by the broker; accumulator layout documented in
   /// MergeGroupedResults.
+  ///
+  /// Default path is the vectorized engine: star-tree short-circuit, then
+  /// selection bitmaps + batched forward-index decode + typed (dict-id
+  /// native) aggregation kernels. `query.force_scalar` runs the
+  /// row-at-a-time oracle instead (no star-tree, per-value decode).
   Result<OlapResult> Execute(const OlapQuery& query,
                              const std::vector<bool>* validity,
                              OlapQueryStats* stats) const;
@@ -100,6 +118,9 @@ class Segment {
   struct Column {
     ValueType type = ValueType::kNull;
     std::vector<Value> dictionary;  ///< sorted
+    /// dict id -> ToNumeric(), built once per segment so the aggregation
+    /// kernels never construct a Value on the scan path.
+    std::vector<double> dict_numeric;
     BitPackedVector packed;         ///< dict ids per row (when packing on)
     std::vector<uint32_t> plain;    ///< dict ids per row (packing off)
     bool has_inverted = false;
@@ -108,6 +129,8 @@ class Segment {
     uint32_t IdAt(size_t row) const {
       return plain.empty() ? packed.Get(row) : plain[row];
     }
+    /// Batch decode of rows [start, start+count) into `out`.
+    void UnpackRange(size_t start, size_t count, uint32_t* out) const;
     int64_t MemoryBytes() const;
   };
 
@@ -120,15 +143,35 @@ class Segment {
   };
 
   void BuildIndexes(const SegmentIndexConfig& config);
+  /// Fills each column's dict_numeric table (after dictionaries exist).
+  void BuildNumericDictionaries();
   int ColumnIndex(const std::string& name) const { return schema_.FieldIndex(name); }
   /// Dict-id range [lo, hi) matching the predicate, or empty.
   Result<std::pair<uint32_t, uint32_t>> PredicateIdRange(const Column& column,
                                                          const FilterPredicate& pred) const;
   /// Row ids matching all predicates; `all` set true when unfiltered.
+  /// Scalar-oracle path only; the vectorized engine uses BuildSelection.
   Result<std::vector<uint32_t>> FilterRows(const std::vector<FilterPredicate>& preds,
                                            bool* all, int64_t* rows_scanned) const;
   bool TryStarTree(const OlapQuery& query, const std::vector<bool>* validity,
                    OlapResult* result) const;
+
+  // --- Vectorized engine (segment_exec.cc) --------------------------------
+  /// Evaluates all predicates + validity into a selection bitmap. Index-
+  /// servable predicates become bitmap kernels; the rest run as one batched
+  /// scan pass. `filter_scanned` reports whether that scan pass examined
+  /// rows (it then owns the rows_scanned accounting for this query).
+  Result<SelectionBitmap> BuildSelection(const std::vector<FilterPredicate>& preds,
+                                         const std::vector<bool>* validity,
+                                         bool* filter_scanned,
+                                         OlapQueryStats* stats) const;
+  Result<OlapResult> ExecuteVectorized(const OlapQuery& query,
+                                       const std::vector<bool>* validity,
+                                       OlapQueryStats* stats) const;
+  /// The seed row-at-a-time engine, kept as the parity oracle.
+  Result<OlapResult> ExecuteScalar(const OlapQuery& query,
+                                   const std::vector<bool>* validity,
+                                   OlapQueryStats* stats) const;
 
   std::string name_;
   RowSchema schema_;

@@ -97,6 +97,39 @@ TEST_F(OlapClusterTest, ScatterGatherMergesAcrossServersAndBuffer) {
   EXPECT_EQ(result.value().stats.servers_queried, 2);
 }
 
+TEST_F(OlapClusterTest, VectorizedEngineCountersSurfaceOnQueryPath) {
+  for (int i = 0; i < 200; ++i) ProduceRide(i, i % 2 == 0 ? "sf" : "nyc", 2.0);
+  ASSERT_TRUE(cluster_->CreateTable(RideTable(), "rides").ok());
+  ASSERT_TRUE(cluster_->IngestAll("rides_t").ok());
+  // Threshold sealing already produced segments; flush any consuming tail so
+  // every row is served by the vectorized engine.
+  ASSERT_TRUE(cluster_->ForceSeal("rides_t").ok());
+
+  OlapQuery query;
+  query.aggregations = {OlapAggregation::Count("n")};
+  query.filters = {FilterPredicate::Eq("city", Value("sf"))};
+  Result<OlapResult> result = cluster_->Query("rides_t", query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0].AsInt(), 100);
+  // Per-query stats report vectorized activity: the inverted-index filter
+  // ran as bitmap kernels and the aggregate phase ran in row batches.
+  EXPECT_GT(result.value().stats.exec_batches, 0);
+  EXPECT_GT(result.value().stats.bitmap_words, 0);
+  // ...and the gather mirrors them into the cluster counters.
+  EXPECT_EQ(cluster_->metrics()->GetCounter("olap.exec.batches")->value(),
+            result.value().stats.exec_batches);
+  EXPECT_EQ(cluster_->metrics()->GetCounter("olap.exec.bitmap_words")->value(),
+            result.value().stats.bitmap_words);
+
+  // The scalar oracle bypasses the vectorized engine entirely.
+  query.force_scalar = true;
+  Result<OlapResult> scalar = cluster_->Query("rides_t", query);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(scalar.value().rows, result.value().rows);
+  EXPECT_EQ(scalar.value().stats.exec_batches, 0);
+  EXPECT_EQ(scalar.value().stats.bitmap_words, 0);
+}
+
 TEST_F(OlapClusterTest, OrderByAndLimitAppliedAfterMerge) {
   for (int i = 0; i < 100; ++i) {
     ProduceRide(i, "city" + std::to_string(i % 10), static_cast<double>(i % 10));

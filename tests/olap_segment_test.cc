@@ -55,6 +55,46 @@ TEST_P(BitPackTest, RoundTripsAtEveryWidth) {
 INSTANTIATE_TEST_SUITE_P(Widths, BitPackTest,
                          ::testing::Values(1u, 2u, 7u, 63u, 255u, 4095u, 1048575u));
 
+TEST_P(BitPackTest, UnpackMatchesGetAtEveryOffset) {
+  uint32_t max_value = GetParam();
+  Rng rng(max_value + 1);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.Uniform(0, max_value)));
+  }
+  BitPackedVector packed(values, max_value);
+  // Batch decode at misaligned offsets and counts, including word-crossing
+  // cell boundaries.
+  std::vector<uint32_t> out(values.size());
+  for (size_t start : {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{997}}) {
+    size_t count = std::min<size_t>(values.size() - start, 129);
+    packed.Unpack(start, count, out.data());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], values[start + i]) << "start=" << start << " i=" << i;
+    }
+  }
+}
+
+TEST(BitPackedVectorTest, FromWordsAdoptsSerializedWords) {
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 500; ++i) values.push_back(i % 100);
+  BitPackedVector packed(values, 99);
+  Result<BitPackedVector> adopted = BitPackedVector::FromWords(
+      packed.bits_per_value(), packed.size(), packed.words());
+  ASSERT_TRUE(adopted.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(adopted.value().Get(i), values[i]);
+  }
+  // Geometry mismatches are corruption, not UB.
+  EXPECT_FALSE(BitPackedVector::FromWords(0, 10, {}).ok());
+  EXPECT_FALSE(BitPackedVector::FromWords(33, 10, {}).ok());
+  std::vector<uint64_t> truncated = packed.words();
+  truncated.pop_back();
+  EXPECT_FALSE(BitPackedVector::FromWords(packed.bits_per_value(), packed.size(),
+                                          std::move(truncated))
+                   .ok());
+}
+
 // --- Filters across all ops, with and without indexes -----------------------
 
 struct FilterCase {
@@ -140,6 +180,47 @@ TEST(SegmentTest, SortedColumnServesRangeWithoutFullScan) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().rows[0][0].AsInt(), 100);
   EXPECT_EQ(stats.rows_scanned, 100);  // only the matching range visited
+}
+
+// rows_scanned is one count per row examined, regardless of engine. The
+// seed engine double-counted scan-filtered rows: FilterRows tallied every
+// candidate, then the aggregate phase added the survivors again.
+TEST(SegmentTest, RowsScannedCountsEachRowOnce) {
+  for (bool force_scalar : {false, true}) {
+    // Pure scan predicate: the filter pass examines all 100 rows; the
+    // aggregate phase must add nothing (seed reported 100 + matches).
+    auto segment = BuildOrDie(MakeOrders(100), {});
+    OlapQuery query;
+    query.force_scalar = force_scalar;
+    query.aggregations = {OlapAggregation::Count("n")};
+    query.filters = {FilterPredicate::Eq("item", Value("pizza"))};
+    OlapQueryStats stats;
+    Result<OlapResult> result = segment->Execute(query, nullptr, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().rows[0][0].AsInt(), 34);
+    EXPECT_EQ(stats.rows_scanned, 100) << "force_scalar=" << force_scalar;
+
+    // Index candidates + residual scan predicate: the scan pass examines the
+    // 10 candidates once; the aggregate phase adds nothing (seed: 10 + 4).
+    SegmentIndexConfig config;
+    config.inverted_columns = {"restaurant"};
+    auto indexed = BuildOrDie(MakeOrders(100), config);
+    query.filters = {FilterPredicate::Eq("restaurant", Value(int64_t{3})),
+                     FilterPredicate::Eq("item", Value("pizza"))};
+    stats = {};
+    result = indexed->Execute(query, nullptr, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(stats.rows_scanned, 10) << "force_scalar=" << force_scalar;
+
+    // Pure index filter: only the selected rows are visited, by the
+    // aggregate phase.
+    query.filters = {FilterPredicate::Eq("restaurant", Value(int64_t{3}))};
+    stats = {};
+    result = indexed->Execute(query, nullptr, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().rows[0][0].AsInt(), 10);
+    EXPECT_EQ(stats.rows_scanned, 10) << "force_scalar=" << force_scalar;
+  }
 }
 
 TEST(SegmentTest, StarTreeAnswersMatchScanExactly) {

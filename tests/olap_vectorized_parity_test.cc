@@ -1,0 +1,221 @@
+/// Randomized differential test: the vectorized segment engine must return
+/// exactly the same rows as the row-at-a-time scalar oracle
+/// (OlapQuery::force_scalar) for any schema, index configuration, filter
+/// set, group-by and validity mask. Doubles are generated on a 0.25 grid at
+/// modest magnitude so every sum is exact regardless of accumulation order,
+/// making "exactly" mean bitwise equality — including through the star-tree
+/// and through a serialize/deserialize round trip.
+///
+/// Runs at two fixed seeds (reproducible; also wired into the ASan and TSan
+/// suites in ci.sh). Index archetypes rotate per iteration so both seeds
+/// cover star-tree, sorted-range, inverted, pure-scan and validity paths
+/// with bit-packing on and off.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "olap/segment.h"
+
+namespace uberrt::olap {
+namespace {
+
+struct FuzzContext {
+  std::shared_ptr<Segment> segment;
+  std::vector<bool> validity;
+  bool use_validity = false;
+  int64_t k1_cardinality = 1;
+  std::vector<std::string> k2_pool;
+};
+
+Row RandomRow(Rng& rng, const FuzzContext& ctx) {
+  Row row;
+  row.push_back(Value(rng.Uniform(0, ctx.k1_cardinality - 1)));
+  if (rng.Chance(0.05)) {
+    row.push_back(Value::Null());
+  } else {
+    row.push_back(Value(rng.Pick(ctx.k2_pool)));
+  }
+  // 0.25 grid: sums of a few thousand of these are exact in double, so
+  // every accumulation order produces the same bits.
+  row.push_back(Value(0.25 * static_cast<double>(rng.Uniform(0, 400))));
+  if (rng.Chance(0.05)) {
+    row.push_back(Value::Null());
+  } else {
+    row.push_back(Value(rng.Uniform(-50, 50)));
+  }
+  return row;
+}
+
+FuzzContext BuildRandomSegment(Rng& rng, int iteration) {
+  FuzzContext ctx;
+  ctx.k1_cardinality = rng.Uniform(1, 20);
+  int64_t k2_cardinality = rng.Uniform(1, 50);
+  for (int64_t i = 0; i < k2_cardinality; ++i) {
+    ctx.k2_pool.push_back("s" + std::to_string(i));
+  }
+  RowSchema schema({{"k1", ValueType::kInt},
+                    {"k2", ValueType::kString},
+                    {"v1", ValueType::kDouble},
+                    {"v2", ValueType::kInt}});
+  size_t num_rows = static_cast<size_t>(rng.Uniform(0, 600));
+  std::vector<Row> rows;
+  rows.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) rows.push_back(RandomRow(rng, ctx));
+
+  // Rotate through the index archetypes so a fixed iteration count still
+  // covers every execution path.
+  SegmentIndexConfig config;
+  switch (iteration % 5) {
+    case 0: break;  // pure scan
+    case 1:
+      config.inverted_columns = {"k1", "k2"};
+      break;
+    case 2:
+      config.sorted_column = "k1";
+      break;
+    case 3:
+      config.star_tree_dimensions = {"k1", "k2"};
+      config.star_tree_metrics = {"v1", "v2"};
+      break;
+    case 4:
+      config.inverted_columns = {"k2"};
+      config.sorted_column = "k1";
+      config.star_tree_dimensions = {"k1"};
+      config.star_tree_metrics = {"v1"};
+      break;
+  }
+  config.bit_packed_forward_index = iteration % 2 == 0;
+
+  Result<std::shared_ptr<Segment>> segment =
+      Segment::Build("fuzz", schema, std::move(rows), config);
+  EXPECT_TRUE(segment.ok()) << segment.status().ToString();
+  ctx.segment = segment.value();
+
+  ctx.use_validity = rng.Chance(0.3);
+  if (ctx.use_validity) {
+    ctx.validity.assign(num_rows, true);
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (rng.Chance(0.2)) ctx.validity[r] = false;
+    }
+  }
+  return ctx;
+}
+
+FilterPredicate RandomPredicate(Rng& rng, const FuzzContext& ctx) {
+  static const FilterPredicate::Op kOps[] = {
+      FilterPredicate::Op::kEq, FilterPredicate::Op::kNe,
+      FilterPredicate::Op::kLt, FilterPredicate::Op::kLe,
+      FilterPredicate::Op::kGt, FilterPredicate::Op::kGe};
+  FilterPredicate pred;
+  pred.op = kOps[rng.Uniform(0, 5)];
+  switch (rng.Uniform(0, 2)) {
+    case 0:
+      pred.column = "k1";
+      // Values deliberately overshoot the cardinality so empty dictionary
+      // ranges are exercised.
+      pred.value = Value(rng.Uniform(-2, ctx.k1_cardinality + 2));
+      break;
+    case 1:
+      pred.column = "k2";
+      pred.value = rng.Chance(0.8) ? Value(rng.Pick(ctx.k2_pool)) : Value("zzz-missing");
+      break;
+    default:
+      pred.column = "v1";
+      pred.value = Value(0.25 * static_cast<double>(rng.Uniform(-10, 410)));
+      break;
+  }
+  return pred;
+}
+
+OlapQuery RandomAggregateQuery(Rng& rng, const FuzzContext& ctx) {
+  OlapQuery query;
+  int num_filters = static_cast<int>(rng.Uniform(0, 3));
+  for (int f = 0; f < num_filters; ++f) {
+    query.filters.push_back(RandomPredicate(rng, ctx));
+  }
+  switch (rng.Uniform(0, 3)) {
+    case 0: break;  // global aggregate
+    case 1: query.group_by = {"k1"}; break;
+    case 2: query.group_by = {"k2"}; break;
+    default: query.group_by = {"k1", "k2"}; break;
+  }
+  query.aggregations.push_back(OlapAggregation::Count("n"));
+  if (rng.Chance(0.8)) {
+    query.aggregations.push_back(OlapAggregation::Sum("v1", "sum1"));
+  }
+  if (rng.Chance(0.5)) {
+    query.aggregations.push_back(OlapAggregation::Min("v1", "lo"));
+    query.aggregations.push_back(OlapAggregation::Max("v1", "hi"));
+  }
+  if (rng.Chance(0.5)) {
+    query.aggregations.push_back(OlapAggregation::Avg("v2", "mean2"));
+  }
+  return query;
+}
+
+OlapQuery RandomSelectQuery(Rng& rng, const FuzzContext& ctx) {
+  OlapQuery query;
+  int num_filters = static_cast<int>(rng.Uniform(0, 2));
+  for (int f = 0; f < num_filters; ++f) {
+    query.filters.push_back(RandomPredicate(rng, ctx));
+  }
+  static const std::vector<std::vector<std::string>> kSelections = {
+      {"k1"}, {"k2", "v1"}, {"k1", "k2", "v1", "v2"}, {"v2"}};
+  query.select_columns = kSelections[static_cast<size_t>(rng.Uniform(0, 3))];
+  static const int64_t kLimits[] = {-1, -1, 1, 7, 1000};
+  query.limit = kLimits[rng.Uniform(0, 4)];
+  return query;
+}
+
+/// Runs `query` through both engines on the same segment + validity and
+/// requires bitwise-identical result rows.
+void ExpectParity(const FuzzContext& ctx, OlapQuery query, int iteration,
+                  const char* what) {
+  const std::vector<bool>* validity = ctx.use_validity ? &ctx.validity : nullptr;
+  OlapQueryStats vec_stats, scalar_stats;
+  query.force_scalar = false;
+  Result<OlapResult> vectorized = ctx.segment->Execute(query, validity, &vec_stats);
+  query.force_scalar = true;
+  Result<OlapResult> scalar = ctx.segment->Execute(query, validity, &scalar_stats);
+  ASSERT_EQ(vectorized.ok(), scalar.ok())
+      << what << " iteration " << iteration << ": status mismatch, vectorized="
+      << vectorized.status().ToString() << " scalar=" << scalar.status().ToString();
+  if (!vectorized.ok()) return;
+  ASSERT_EQ(vectorized.value().rows, scalar.value().rows)
+      << what << " iteration " << iteration << " diverged (star_tree_hits="
+      << vec_stats.star_tree_hits << ", exec_batches=" << vec_stats.exec_batches
+      << ")";
+}
+
+class VectorizedParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorizedParityTest, VectorizedMatchesScalarOracleExactly) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    FuzzContext ctx = BuildRandomSegment(rng, iteration);
+    ExpectParity(ctx, RandomAggregateQuery(rng, ctx), iteration, "aggregate");
+    ExpectParity(ctx, RandomAggregateQuery(rng, ctx), iteration, "aggregate");
+    ExpectParity(ctx, RandomSelectQuery(rng, ctx), iteration, "select");
+
+    // Every fourth iteration also round-trips through the columnar blob so
+    // the FromWords deserialization path serves the vectorized engine.
+    if (iteration % 4 == 0) {
+      Result<std::shared_ptr<Segment>> restored =
+          Segment::Deserialize(ctx.segment->Serialize());
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      FuzzContext restored_ctx = ctx;
+      restored_ctx.segment = restored.value();
+      ExpectParity(restored_ctx, RandomAggregateQuery(rng, ctx), iteration,
+                   "restored-aggregate");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, VectorizedParityTest,
+                         ::testing::Values(0xC0FFEEULL, 0x5EEDF00DULL));
+
+}  // namespace
+}  // namespace uberrt::olap
