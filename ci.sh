@@ -10,6 +10,8 @@
 #   3. perf smoke: bench_c5's filtered group-by in the Release tier-1 build
 #      must show the vectorized engine no slower than the scalar oracle
 #      (UBERRT_PERF_GATE); the honest ratio + core count land in BENCH_c5.json.
+#      bench_stream_throughput likewise gates the batched/zero-copy stream
+#      path against the per-message baseline (ratios in BENCH_stream.json).
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -19,13 +21,13 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-CONCURRENCY_SUITES="common_executor_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test"
+CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test"
 for SAN in address thread; do
   echo "== sanitizer gate: ${SAN} =="
   cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
   cmake --build "build-${SAN}" -j --target \
-    common_executor_test stream_broker_concurrency_test olap_cluster_concurrency_test \
-    chaos_soak_test olap_vectorized_parity_test
+    common_executor_test stream_log_test stream_broker_concurrency_test \
+    olap_cluster_concurrency_test chaos_soak_test olap_vectorized_parity_test
   ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
 done
 
@@ -43,5 +45,11 @@ done
 echo "== perf smoke: vectorized vs scalar (bench_c5) =="
 cmake --build build -j --target bench_c5_pinot_vs_druid
 (cd build && UBERRT_PERF_GATE=1 ./bench/bench_c5_pinot_vs_druid)
+
+# Perf smoke: the batched/zero-copy stream log must not regress below the
+# retained per-message produce/fetch baseline (Release build).
+echo "== perf smoke: batched vs per-message stream log (bench_stream_throughput) =="
+cmake --build build -j --target bench_stream_throughput
+(cd build && UBERRT_PERF_GATE=1 ./bench/bench_stream_throughput)
 
 echo "CI OK"

@@ -80,11 +80,25 @@ class Broker : public MessageBus {
   Result<ProduceResult> Produce(const std::string& topic, Message message,
                                 AckMode ack = AckMode::kLeader) override;
 
+  /// Appends a pre-encoded batch to one explicit partition with a single
+  /// memcpy into the partition log's arena segment — the per-batch costs
+  /// (topic lookup, availability/fault gates, coordination work) are paid
+  /// once for the whole batch. Non-lossless topics drop the entire batch
+  /// while the cluster is down, mirroring Produce.
+  Result<ProduceResult> ProduceBatch(const std::string& topic, int32_t partition,
+                                     const wire::EncodedBatch& batch,
+                                     AckMode ack = AckMode::kLeader) override;
+
   /// Appends preserving message.offset/partition (federated topic migration).
   Status Replicate(const std::string& topic, const Message& message);
 
   Result<std::vector<Message>> Fetch(const std::string& topic, int32_t partition,
                                      int64_t offset, size_t max_messages) const override;
+
+  /// Zero-copy batch fetch: borrowed views into the partition log's arena
+  /// segments, no per-message allocation (see FetchedBatch lifetime rules).
+  Result<FetchedBatch> FetchViews(const std::string& topic, int32_t partition,
+                                  int64_t offset, size_t max_messages) const override;
 
   Result<int64_t> BeginOffset(const std::string& topic, int32_t partition) const override;
   Result<int64_t> EndOffset(const std::string& topic, int32_t partition) const override;

@@ -59,9 +59,15 @@ Status Consumer::RefreshAssignmentIfNeeded() {
 }
 
 Result<std::vector<Message>> Consumer::Poll(size_t max_messages) {
+  Result<FetchedBatch> views = PollViews(max_messages);
+  if (!views.ok()) return views.status();
+  return views.value().ToMessages();
+}
+
+Result<FetchedBatch> Consumer::PollViews(size_t max_messages) {
   if (!subscribed_) return Status::FailedPrecondition("not subscribed");
   UBERRT_RETURN_IF_ERROR(RefreshAssignmentIfNeeded());
-  std::vector<Message> out;
+  FetchedBatch out;
   if (assignment_.empty()) return out;
   size_t partitions_tried = 0;
   while (out.size() < max_messages && partitions_tried < assignment_.size()) {
@@ -69,8 +75,8 @@ Result<std::vector<Message>> Consumer::Poll(size_t max_messages) {
     next_partition_index_ = (next_partition_index_ + 1) % assignment_.size();
     ++partitions_tried;
     int64_t position = positions_[partition];
-    Result<std::vector<Message>> batch =
-        bus_->Fetch(topic_, partition, position, max_messages - out.size());
+    Result<FetchedBatch> batch =
+        bus_->FetchViews(topic_, partition, position, max_messages - out.size());
     if (!batch.ok()) {
       if (batch.status().code() == StatusCode::kOutOfRange) {
         // Truncated under us (retention): jump to the earliest retained.
@@ -82,9 +88,9 @@ Result<std::vector<Message>> Consumer::Poll(size_t max_messages) {
       return batch.status();
     }
     if (!batch.value().empty()) {
-      positions_[partition] = batch.value().back().offset + 1;
+      positions_[partition] = batch.value().messages.back().offset + 1;
       partitions_tried = 0;  // found data; keep cycling
-      for (Message& m : batch.value()) out.push_back(std::move(m));
+      out.Merge(std::move(batch.value()));
     }
   }
   return out;

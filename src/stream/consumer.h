@@ -38,7 +38,15 @@ class Consumer {
 
   /// Fetches up to `max_messages` from this member's assigned partitions
   /// (round-robin across them). Empty result when caught up.
+  /// Compatibility shim over PollViews: one owning deep copy per message.
   Result<std::vector<Message>> Poll(size_t max_messages);
+
+  /// Batch fetch: up to `max_messages` borrowed zero-copy views from this
+  /// member's assigned partitions. The returned FetchedBatch pins the log
+  /// segments the views borrow, so they outlive retention and rebalances;
+  /// decode to owning Messages (view.ToMessage()) only where ownership is
+  /// genuinely needed.
+  Result<FetchedBatch> PollViews(size_t max_messages);
 
   /// Commits the positions reached by Poll for all assigned partitions.
   Status Commit();

@@ -66,11 +66,13 @@ void ConsumerProxy::PollLoop() {
     bool idle = true;
     for (Consumer* c : {consumer_.get(), retry_subscribed ? &retry_consumer : nullptr}) {
       if (c == nullptr) continue;
-      Result<std::vector<Message>> batch = c->Poll(options_.poll_batch);
+      // Batch fetch as borrowed views; materialize owning Messages only at
+      // the dispatch-queue boundary, where the endpoint needs ownership.
+      Result<FetchedBatch> batch = c->PollViews(options_.poll_batch);
       if (!batch.ok()) continue;  // transient (e.g. cluster failover)
-      for (Message& m : batch.value()) {
+      for (const wire::MessageView& v : batch.value().messages) {
         in_flight_.fetch_add(1);
-        if (!queue_->Push(std::move(m))) {
+        if (!queue_->Push(v.ToMessage())) {
           in_flight_.fetch_sub(1);
           return;  // queue closed
         }

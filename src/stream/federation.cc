@@ -123,6 +123,31 @@ Result<ProduceResult> KafkaFederation::Produce(const std::string& topic,
   return rerouted.value()->Produce(topic, std::move(message), ack);
 }
 
+Result<ProduceResult> KafkaFederation::ProduceBatch(const std::string& topic,
+                                                    int32_t partition,
+                                                    const wire::EncodedBatch& batch,
+                                                    AckMode ack) {
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
+  if (!broker.ok()) return broker.status();
+  Result<ProduceResult> result = broker.value()->ProduceBatch(topic, partition, batch, ack);
+  if (result.ok() || !result.status().IsUnavailable()) return result;
+  // Hosting cluster is down: fail over and retry once, exactly like the
+  // per-message path. The batch was not appended (acked-or-error holds).
+  UBERRT_RETURN_IF_ERROR(FailoverTopic(topic));
+  Result<std::shared_ptr<Broker>> rerouted = Route(topic);
+  if (!rerouted.ok()) return rerouted.status();
+  failover_produces_->Increment();
+  return rerouted.value()->ProduceBatch(topic, partition, batch, ack);
+}
+
+Result<FetchedBatch> KafkaFederation::FetchViews(const std::string& topic,
+                                                 int32_t partition, int64_t offset,
+                                                 size_t max_messages) const {
+  Result<std::shared_ptr<Broker>> broker = Route(topic);
+  if (!broker.ok()) return broker.status();
+  return broker.value()->FetchViews(topic, partition, offset, max_messages);
+}
+
 Result<std::vector<Message>> KafkaFederation::Fetch(const std::string& topic,
                                                     int32_t partition, int64_t offset,
                                                     size_t max_messages) const {

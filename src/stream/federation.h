@@ -63,8 +63,16 @@ class KafkaFederation : public MessageBus {
   Result<int32_t> NumPartitions(const std::string& topic) const override;
   Result<ProduceResult> Produce(const std::string& topic, Message message,
                                 AckMode ack = AckMode::kLeader) override;
+  /// Routes the batch to the hosting cluster's single-memcpy append; on
+  /// cluster failure fails the topic over and retries once, like Produce.
+  Result<ProduceResult> ProduceBatch(const std::string& topic, int32_t partition,
+                                     const wire::EncodedBatch& batch,
+                                     AckMode ack = AckMode::kLeader) override;
   Result<std::vector<Message>> Fetch(const std::string& topic, int32_t partition,
                                      int64_t offset, size_t max_messages) const override;
+  /// Zero-copy batch fetch routed to the hosting cluster.
+  Result<FetchedBatch> FetchViews(const std::string& topic, int32_t partition,
+                                  int64_t offset, size_t max_messages) const override;
   Result<int64_t> BeginOffset(const std::string& topic, int32_t partition) const override;
   Result<int64_t> EndOffset(const std::string& topic, int32_t partition) const override;
   Status JoinGroup(const std::string& group, const std::string& topic,

@@ -24,13 +24,21 @@ struct Message {
   int64_t offset = -1;
   int32_t partition = -1;
 
-  /// Approximate wire size, used for retention-by-bytes and throughput
-  /// accounting.
-  size_t ByteSize() const {
-    size_t n = key.size() + value.size() + 24;
-    for (const auto& [k, v] : headers) n += k.size() + v.size();
+  /// Exact encoded size of this message's binary record frame (wire.h):
+  /// length prefix + timestamp + length-prefixed key/value + header count +
+  /// per-header length-prefixed key/value. This is the one authoritative
+  /// byte accounting — wire::AppendFrame emits exactly this many bytes, and
+  /// retention-by-bytes, broker metrics and the benches all derive from it.
+  size_t FrameSize() const {
+    size_t n = 4 + 8 + 4 + key.size() + 4 + value.size() + 4;
+    for (const auto& [k, v] : headers) n += 8 + k.size() + v.size();
     return n;
   }
+
+  /// Deprecated alias for FrameSize(). The old formula added a flat 24
+  /// bytes with no per-header-entry overhead, so size-based retention and
+  /// throughput accounting drifted from the stored bytes.
+  size_t ByteSize() const { return FrameSize(); }
 };
 
 /// Standard header keys for audit metadata (Section 9.4).

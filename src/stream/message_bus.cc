@@ -1,0 +1,55 @@
+#include "stream/message_bus.h"
+
+namespace uberrt::stream {
+
+Result<ProduceResult> MessageBus::ProduceBatch(const std::string& topic,
+                                               int32_t partition,
+                                               const wire::EncodedBatch& batch,
+                                               AckMode ack) {
+  Result<wire::BatchReader> reader = wire::BatchReader::Open(batch.data);
+  if (!reader.ok()) return reader.status();
+  ProduceResult result;
+  result.partition = partition;
+  while (!reader.value().Done()) {
+    Result<wire::MessageView> view = reader.value().Next();
+    if (!view.ok()) return view.status();
+    Message m = view.value().ToMessage();
+    m.partition = partition;
+    m.offset = -1;
+    Result<ProduceResult> produced = Produce(topic, std::move(m), ack);
+    if (!produced.ok()) return produced.status();
+    if (result.offset < 0) {
+      result.offset = produced.value().offset;
+      result.partition = produced.value().partition;
+    }
+    result.dropped = result.dropped || produced.value().dropped;
+  }
+  return result;
+}
+
+Result<FetchedBatch> MessageBus::FetchViews(const std::string& topic,
+                                            int32_t partition, int64_t offset,
+                                            size_t max_messages) const {
+  Result<std::vector<Message>> fetched = Fetch(topic, partition, offset, max_messages);
+  if (!fetched.ok()) return fetched.status();
+  // Re-encode into an owned buffer the views can borrow from: same lifetime
+  // contract as the broker's native arena-backed path, one copy slower.
+  wire::BatchBuilder builder;
+  for (const Message& m : fetched.value()) builder.Add(m);
+  FetchedBatch out;
+  if (builder.empty()) return out;
+  auto owned = std::make_shared<const std::string>(builder.Finish().data);
+  Result<wire::BatchReader> reader = wire::BatchReader::Open(*owned);
+  if (!reader.ok()) return reader.status();
+  out.pins.push_back(owned);
+  for (const Message& m : fetched.value()) {
+    Result<wire::MessageView> view = reader.value().Next();
+    if (!view.ok()) return view.status();
+    view.value().offset = m.offset;
+    view.value().partition = m.partition;
+    out.messages.push_back(std::move(view.value()));
+  }
+  return out;
+}
+
+}  // namespace uberrt::stream

@@ -54,6 +54,24 @@ class MessageBus {
   virtual Result<std::vector<Message>> Fetch(const std::string& topic,
                                              int32_t partition, int64_t offset,
                                              size_t max_messages) const = 0;
+
+  /// Appends a pre-encoded batch (wire::BatchBuilder) to one partition.
+  /// ProduceResult.offset is the base offset of the batch's first record.
+  /// The broker overrides this with a single-memcpy append; the default
+  /// decodes and loops Produce (non-atomic) for buses without a native
+  /// batch path. Timestamps are the producer's responsibility: frames are
+  /// appended as encoded, never re-stamped.
+  virtual Result<ProduceResult> ProduceBatch(const std::string& topic,
+                                             int32_t partition,
+                                             const wire::EncodedBatch& batch,
+                                             AckMode ack);
+
+  /// Batch fetch returning borrowed zero-copy views (see FetchedBatch for
+  /// the lifetime rules). The broker serves views straight from its arena
+  /// segments; the default copies through Fetch into an owned buffer.
+  virtual Result<FetchedBatch> FetchViews(const std::string& topic,
+                                          int32_t partition, int64_t offset,
+                                          size_t max_messages) const;
   virtual Result<int64_t> BeginOffset(const std::string& topic,
                                       int32_t partition) const = 0;
   virtual Result<int64_t> EndOffset(const std::string& topic,

@@ -255,10 +255,17 @@ Result<int64_t> UReplicator::RunOnce() {
             transient_skips_.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          size_t want = std::min<int64_t>(static_cast<int64_t>(options_.batch_size),
-                                          remaining);
-          Result<std::vector<Message>> batch =
-              source_->Fetch(tp.topic, tp.partition, state->source_position, want);
+          int64_t want = std::min<int64_t>(static_cast<int64_t>(options_.batch_size),
+                                           remaining);
+          if (mapping_store_ != nullptr) {
+            // Chunk copies at checkpoint boundaries so offset-mapping
+            // fidelity (one mapping per checkpoint_every records) is
+            // preserved with batched produce.
+            want = std::min(want,
+                            options_.checkpoint_every - state->since_checkpoint);
+          }
+          Result<FetchedBatch> batch = source_->FetchViews(
+              tp.topic, tp.partition, state->source_position, static_cast<size_t>(want));
           if (!batch.ok()) {
             if (batch.status().code() == StatusCode::kOutOfRange) {
               // Source truncated under us; skip forward.
@@ -273,35 +280,39 @@ Result<int64_t> UReplicator::RunOnce() {
             out->status = batch.status();
             return;
           }
-          bool partition_blocked = false;
-          for (const Message& m : batch.value()) {
-            Message copy = m;
-            copy.offset = -1;  // destination assigns its own offsets
-            Result<ProduceResult> produced =
-                destination_->Produce(tp.topic, std::move(copy), AckMode::kLeader);
-            if (!produced.ok()) {
-              if (common::RetryPolicy::IsRetryable(produced.status())) {
-                // Everything before this message is already copied and
-                // position-tracked; resume from here next cycle.
-                transient_skips_.fetch_add(1, std::memory_order_relaxed);
-                partition_blocked = true;
-                break;
-              }
-              out->status = produced.status();
-              return;
-            }
-            state->source_position = m.offset + 1;
-            ++state->since_checkpoint;
-            ++out->replicated;
-            --remaining;
-            if (mapping_store_ != nullptr &&
-                state->since_checkpoint >= options_.checkpoint_every) {
-              mapping_store_->Checkpoint(
-                  route_, tp, OffsetMapping{m.offset + 1, produced.value().offset + 1});
-              state->since_checkpoint = 0;
-            }
+          if (batch.value().empty()) continue;
+          // Re-append the fetched frames verbatim (no Message is ever
+          // materialized on the copy path); the destination assigns its own
+          // offsets from the batch base.
+          wire::BatchBuilder builder;
+          for (const wire::MessageView& v : batch.value().messages) {
+            builder.AddEncodedFrame(v.raw_frame, v.timestamp);
           }
-          if (partition_blocked) continue;  // next partition; retried next cycle
+          int64_t last_source = batch.value().messages.back().offset;
+          int64_t copied = static_cast<int64_t>(builder.count());
+          Result<ProduceResult> produced = destination_->ProduceBatch(
+              tp.topic, tp.partition, builder.Finish(), AckMode::kLeader);
+          if (!produced.ok()) {
+            if (common::RetryPolicy::IsRetryable(produced.status())) {
+              // The batch append is atomic: nothing was stored, the
+              // partition stays at source_position and retries next cycle.
+              transient_skips_.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            out->status = produced.status();
+            return;
+          }
+          state->source_position = last_source + 1;
+          state->since_checkpoint += copied;
+          out->replicated += copied;
+          remaining -= copied;
+          if (mapping_store_ != nullptr &&
+              state->since_checkpoint >= options_.checkpoint_every) {
+            mapping_store_->Checkpoint(
+                route_, tp,
+                OffsetMapping{last_source + 1, produced.value().offset + copied});
+            state->since_checkpoint = 0;
+          }
         }
       };
 
