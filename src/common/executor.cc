@@ -70,5 +70,26 @@ Executor& Executor::Shared() {
   return shared;
 }
 
+void Executor::RunTaskGroup(Executor* executor, size_t count,
+                            const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (executor == nullptr || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  WaitGroup wg;
+  for (size_t i = 0; i < count; ++i) {
+    wg.Add();
+    if (!executor->Submit([&fn, &wg, i] {
+          fn(i);
+          wg.Done();
+        })) {
+      fn(i);  // pool already shut down: degrade to inline
+      wg.Done();
+    }
+  }
+  wg.Wait();
+}
+
 }  // namespace common
 }  // namespace uberrt

@@ -97,6 +97,15 @@ class Executor {
   /// checkers stay quiet.
   static Executor& Shared();
 
+  /// Runs `count` indexed tasks as one gathered batch (a morsel task
+  /// group): each index is submitted to `executor` and the call blocks
+  /// until all have finished. With a null executor, a single task, or a
+  /// pool that is already shut down, tasks run inline on the caller — the
+  /// serial path and the degraded path are the same code. `fn` must be
+  /// safe to call concurrently for distinct indices.
+  static void RunTaskGroup(Executor* executor, size_t count,
+                           const std::function<void(size_t)>& fn);
+
  private:
   struct Envelope {
     Task task;

@@ -1,10 +1,113 @@
 #include "olap/cluster.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/hash.h"
 
 namespace uberrt::olap {
+
+namespace {
+
+void FrameAppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool FrameReadU64(const std::string& data, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(out, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+constexpr uint64_t kArchiveMagic = 0x314745535F545255ULL;  // "URT_SEG1"
+
+/// Archival frame: the segment blob plus the cluster-level sealing state
+/// (seal seq, time bounds, upsert validity bits) that Segment::Serialize
+/// cannot know. Without the validity bits, store-path recovery resurrected
+/// overwritten upsert rows: restored segments came back all-valid.
+std::string EncodeArchivedSegment(const RealtimePartition::SealedSegment& s) {
+  std::string out;
+  FrameAppendU64(&out, kArchiveMagic);
+  FrameAppendU64(&out, static_cast<uint64_t>(s.seq));
+  FrameAppendU64(&out, static_cast<uint64_t>(s.min_time));
+  FrameAppendU64(&out, static_cast<uint64_t>(s.max_time));
+  if (s.validity == nullptr) {
+    FrameAppendU64(&out, 0);
+  } else {
+    FrameAppendU64(&out, 1);
+    FrameAppendU64(&out, s.validity->size());
+    uint64_t word = 0;
+    int bit = 0;
+    for (size_t i = 0; i < s.validity->size(); ++i) {
+      if ((*s.validity)[i]) word |= 1ULL << bit;
+      if (++bit == 64) {
+        FrameAppendU64(&out, word);
+        word = 0;
+        bit = 0;
+      }
+    }
+    if (bit > 0) FrameAppendU64(&out, word);
+  }
+  out.append(s.segment->Serialize());
+  return out;
+}
+
+Result<RealtimePartition::SealedSegment> DecodeArchivedSegment(
+    const std::string& blob) {
+  RealtimePartition::SealedSegment s;
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!FrameReadU64(blob, &pos, &magic) || magic != kArchiveMagic) {
+    // Legacy blob: a bare segment with no frame. Conservative defaults
+    // (no time bounds, all rows valid, unknown seq).
+    Result<std::shared_ptr<Segment>> segment = Segment::Deserialize(blob);
+    if (!segment.ok()) return segment.status();
+    s.segment = std::move(segment.value());
+    return s;
+  }
+  auto corrupt = [] { return Status::Corruption("archived segment frame truncated"); };
+  uint64_t seq, min_time, max_time, has_validity;
+  if (!FrameReadU64(blob, &pos, &seq) || !FrameReadU64(blob, &pos, &min_time) ||
+      !FrameReadU64(blob, &pos, &max_time) ||
+      !FrameReadU64(blob, &pos, &has_validity)) {
+    return corrupt();
+  }
+  s.seq = static_cast<int64_t>(seq);
+  s.min_time = static_cast<TimestampMs>(min_time);
+  s.max_time = static_cast<TimestampMs>(max_time);
+  if (has_validity != 0) {
+    uint64_t num_bits;
+    if (!FrameReadU64(blob, &pos, &num_bits)) return corrupt();
+    const uint64_t num_words = (num_bits + 63) / 64;
+    if (num_words > (blob.size() - pos) / 8) return corrupt();
+    auto validity = std::make_shared<std::vector<bool>>(num_bits, true);
+    for (uint64_t w = 0; w < num_words; ++w) {
+      uint64_t word;
+      if (!FrameReadU64(blob, &pos, &word)) return corrupt();
+      const uint64_t base = w * 64;
+      for (uint64_t b = 0; b < 64 && base + b < num_bits; ++b) {
+        (*validity)[base + b] = ((word >> b) & 1) != 0;
+      }
+    }
+    s.validity = std::move(validity);
+  }
+  Result<std::shared_ptr<Segment>> segment = Segment::Deserialize(blob.substr(pos));
+  if (!segment.ok()) return segment.status();
+  s.segment = std::move(segment.value());
+  if (s.validity != nullptr &&
+      static_cast<int64_t>(s.validity->size()) != s.segment->NumRows()) {
+    return Status::Corruption("archived segment validity length mismatch");
+  }
+  return s;
+}
+
+/// FIFO bound on each table's broker result cache.
+constexpr size_t kResultCacheCapacity = 128;
+
+}  // namespace
 
 Result<OlapResult> MergeAndFinalize(const OlapQuery& query,
                                     const RowSchema& table_schema,
@@ -188,33 +291,58 @@ Status OlapCluster::ArchivePut(const std::string& key, const std::string& blob) 
   return put;
 }
 
+int64_t OlapCluster::DrainArchival(Table* t, bool* emptied) const {
+  std::lock_guard<std::mutex> alock(t->archival_mu);
+  int64_t archived = 0;
+  while (!t->archival_queue.empty()) {
+    PendingArchive& pending = t->archival_queue.front();
+    // Backed-off retries inside ArchivePut; if the store is still down after
+    // that, the segment stays queued (and counted) for the next drain.
+    if (!ArchivePut(pending.key, pending.blob).ok()) break;
+    ++archived;
+    t->archival_queue.pop_front();
+  }
+  if (archived > 0) t->segments_archived->Increment(archived);
+  *emptied = t->archival_queue.empty();
+  return archived;
+}
+
+void OlapCluster::UnblockArchival(Table* t) const {
+  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
+  for (Server& server : t->servers) {
+    for (auto& [partition_id, sp] : server.partitions) {
+      sp.archival_blocked = false;
+    }
+  }
+}
+
 Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
                                ServerPartition* sp, bool force) {
   Result<std::shared_ptr<Segment>> sealed = sp->data->SealIfNeeded(force);
   if (!sealed.ok()) return sealed.status();
   if (sealed.value() == nullptr) return Status::Ok();
   const std::shared_ptr<Segment>& segment = sealed.value();
-  std::string key = SegmentKey(t->config.name, segment->name());
-  std::string blob = segment->Serialize();
-
-  if (t->options.archival_mode == ArchivalMode::kSyncCentralized) {
-    // One controller, synchronous backup: a store failure blocks this
-    // partition's ingestion until the backup succeeds.
-    Status put = ArchivePut(key, blob);
-    if (!put.ok()) {
-      sp->archival_blocked = true;
-      std::lock_guard<std::mutex> alock(t->archival_mu);
-      t->archival_queue.push_back({key, std::move(blob)});
-      t->ingestion_blocked->Increment();
-      return Status::Ok();  // seal kept; consumption halted
-    }
-    t->segments_archived->Increment();
-    return Status::Ok();
-  }
-
-  // Async peer-to-peer: replicate to peers now, archive later.
   const auto& sealed_list = sp->data->sealed();
   const RealtimePartition::SealedSegment& sealed_entry = sealed_list.back();
+  std::string key = SegmentKey(t->config.name, segment->name());
+  std::string blob = EncodeArchivedSegment(sealed_entry);
+
+  if (t->options.archival_mode == ArchivalMode::kSyncCentralized) {
+    // One controller, synchronous backup: consumption halts until the
+    // backup succeeds — but the store I/O itself (ArchivePut with its
+    // retry/backoff) never runs under rw_mu. HandleSeal only enqueues and
+    // marks the partition blocked; IngestOnce/ForceSeal drain the queue
+    // under archival_mu and unblock, so queries are never starved by a
+    // store outage.
+    sp->archival_blocked = true;
+    std::lock_guard<std::mutex> alock(t->archival_mu);
+    t->archival_queue.push_back({std::move(key), std::move(blob)});
+    return Status::Ok();  // seal kept; consumption halted until the drain
+  }
+
+  // Async peer-to-peer: replicate to peers now, archive later. The replica
+  // shares the sealed entry's validity vector (shared_ptr), so later upsert
+  // invalidations on the home server are visible to recovery from peers.
   int32_t replicas_wanted = t->options.replication_factor - 1;
   for (int32_t offset = 1;
        offset < static_cast<int32_t>(t->servers.size()) && replicas_wanted > 0;
@@ -238,69 +366,105 @@ Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
   Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
   Table* t = found.value().get();
-  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
-  int64_t ingested = 0;
-  for (Server& server : t->servers) {
-    for (auto& [partition_id, sp] : server.partitions) {
-      if (sp.archival_blocked) {
-        // Sync mode: retry the pending backup before consuming anything.
-        bool unblocked = true;
-        {
-          std::lock_guard<std::mutex> alock(t->archival_mu);
-          while (!t->archival_queue.empty()) {
-            PendingArchive& pending = t->archival_queue.front();
-            if (!ArchivePut(pending.key, pending.blob).ok()) {
-              unblocked = false;
-              break;
-            }
-            t->segments_archived->Increment();
-            t->archival_queue.pop_front();
-          }
-        }
-        if (!unblocked) continue;  // still halted
-        sp.archival_blocked = false;
-      }
-      // Consume at most up to the seal threshold before attempting a seal,
-      // so a blocked archival (sync mode) genuinely halts consumption
-      // instead of buffering unboundedly past the segment size.
-      size_t budget = max_per_partition;
-      while (budget > 0) {
-        int64_t room =
-            sp.data->segment_rows_threshold() - sp.data->BufferedRows();
-        if (room <= 0) {
-          UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
-          if (sp.archival_blocked) break;  // halted until the store is back
-          continue;
-        }
-        size_t want = std::min(budget, static_cast<size_t>(room));
-        Result<std::vector<stream::Message>> batch =
-            bus_->Fetch(t->topic, partition_id, sp.stream_offset, want);
-        if (!batch.ok()) {
-          if (batch.status().code() == StatusCode::kOutOfRange) {
-            Result<int64_t> begin = bus_->BeginOffset(t->topic, partition_id);
-            if (begin.ok()) sp.stream_offset = begin.value();
-            continue;
-          }
-          break;  // cluster transiently unavailable
-        }
-        if (batch.value().empty()) break;
-        budget -= batch.value().size();
-        for (const stream::Message& m : batch.value()) {
-          Result<Row> row = DecodeRow(m.value);
-          sp.stream_offset = m.offset + 1;
-          if (!row.ok()) {
-            t->decode_errors->Increment();
-            continue;
-          }
-          Status ingest = sp.data->Ingest(std::move(row.value()));
-          if (!ingest.ok()) return ingest;
-          ++ingested;
-        }
-      }
-      UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
-    }
+  const bool sync = t->options.archival_mode == ArchivalMode::kSyncCentralized;
+
+  // Sync mode: retry any pending backup BEFORE taking the exclusive lock.
+  // During a store outage the ArchivePut retry/backoff loop must stall
+  // ingestion — never the queries that rw_mu also serves.
+  bool store_ok = true;
+  if (sync) {
+    bool emptied = false;
+    DrainArchival(t, &emptied);
+    store_ok = emptied;
   }
-  t->rows_ingested->Increment(ingested);
+
+  int64_t ingested = 0;
+  // Budget is per stream partition across all consume rounds of this call.
+  std::map<int32_t, size_t> budget_used;
+  while (true) {
+    int64_t round_rows = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(t->rw_mu);
+      for (Server& server : t->servers) {
+        for (auto& [partition_id, sp] : server.partitions) {
+          if (sp.archival_blocked) {
+            if (!store_ok) continue;  // paper: "all data ingestion ... halt"
+            sp.archival_blocked = false;
+          }
+          const int64_t rows_before = sp.data->NumRows();
+          const int64_t segs_before = sp.data->NumSealedSegments();
+          // Consume at most up to the seal threshold before attempting a
+          // seal, so a blocked archival (sync mode) genuinely halts
+          // consumption instead of buffering unboundedly past the segment
+          // size.
+          size_t& used = budget_used[partition_id];
+          while (used < max_per_partition) {
+            int64_t room =
+                sp.data->segment_rows_threshold() - sp.data->BufferedRows();
+            if (room <= 0) {
+              UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
+              if (sp.archival_blocked) break;  // halted until the drain below
+              continue;
+            }
+            size_t want =
+                std::min(max_per_partition - used, static_cast<size_t>(room));
+            Result<std::vector<stream::Message>> batch =
+                bus_->Fetch(t->topic, partition_id, sp.stream_offset, want);
+            if (!batch.ok()) {
+              if (batch.status().code() == StatusCode::kOutOfRange) {
+                Result<int64_t> begin = bus_->BeginOffset(t->topic, partition_id);
+                if (begin.ok()) sp.stream_offset = begin.value();
+                continue;
+              }
+              break;  // cluster transiently unavailable
+            }
+            if (batch.value().empty()) break;
+            used += batch.value().size();
+            for (const stream::Message& m : batch.value()) {
+              Result<Row> row = DecodeRow(m.value);
+              sp.stream_offset = m.offset + 1;
+              if (!row.ok()) {
+                t->decode_errors->Increment();
+                continue;
+              }
+              Status ingest = sp.data->Ingest(std::move(row.value()));
+              if (!ingest.ok()) return ingest;
+              ++round_rows;
+            }
+          }
+          UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp));
+          if (sp.data->NumRows() != rows_before ||
+              sp.data->NumSealedSegments() != segs_before) {
+            ++sp.data_version;  // invalidates cached results covering this
+          }
+        }
+      }
+      if (round_rows > 0) t->rows_ingested->Increment(round_rows);
+    }
+    ingested += round_rows;
+    if (!sync) break;  // async mode: DrainArchivalQueue is the explicit pump
+    bool pending;
+    {
+      std::lock_guard<std::mutex> alock(t->archival_mu);
+      pending = !t->archival_queue.empty();
+    }
+    if (!pending) break;  // nothing sealed this round: caught up
+    if (!store_ok) {
+      // This call's opening drain already failed; don't pay a second
+      // retry/backoff round — the next IngestOnce retries the backup.
+      t->ingestion_blocked->Increment();
+      break;
+    }
+    bool emptied = false;
+    DrainArchival(t, &emptied);
+    store_ok = emptied;
+    if (!emptied) {
+      t->ingestion_blocked->Increment();
+      break;  // halted; the next IngestOnce retries the backup first
+    }
+    // Backup succeeded: run another consume round (budget permitting) so a
+    // healthy store never caps throughput at one segment per call.
+  }
   return ingested;
 }
 
@@ -362,64 +526,140 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
     }
   }
 
-  // Scatter: one sub-query per server, gathered into a server-indexed slot
-  // so the merge order is deterministic regardless of scheduling.
-  struct ServerPartial {
-    std::vector<Row> rows;
-    OlapQueryStats stats;
-    Status status;
+  // Dashboard path: consult the broker result cache. The version fingerprint
+  // is the sum of the covered partitions' data_versions — versions only
+  // increase (under exclusive rw_mu), so an equal sum under our shared lock
+  // means no covered partition changed since the entry was written.
+  const bool use_cache = query.use_cache;
+  std::string cache_key;
+  uint64_t cache_version = 0;
+  if (use_cache) {
+    cache_key = CanonicalQueryKey(query);
+    for (const Server& server : t->servers) {
+      for (const auto& [partition_id, sp] : server.partitions) {
+        if (routed_partition >= 0 && partition_id != routed_partition) continue;
+        cache_version += sp.data_version;
+      }
+    }
+    std::lock_guard<std::mutex> clock(t->cache_mu);
+    auto it = t->result_cache.find(cache_key);
+    if (it != t->result_cache.end() && it->second.version == cache_version) {
+      result_cache_hits_->Increment();
+      OlapResult cached = it->second.result;
+      cached.stats.from_cache = true;
+      return cached;
+    }
+    result_cache_misses_->Increment();
+  }
+
+  // Plan: one morsel per surviving sealed segment plus the consuming buffer,
+  // laid out server-by-server so the gather below is deterministic. Zone-map
+  // and time-window pruning happen here — pruned segments never become work.
+  struct Morsel {
+    const RealtimePartition* part;
+    int32_t unit;  // sealed-segment index, or -1 for the consuming buffer
+  };
+  struct ServerPlan {
+    size_t first_morsel = 0;
+    size_t num_morsels = 0;
+    OlapQueryStats plan_stats;  // carries segments_pruned
     bool touched = false;
   };
-  std::vector<ServerPartial> partials(t->servers.size());
-  auto run_server = [&](size_t si) {
-    ServerPartial& out = partials[si];
-    const std::string site = "olap.server.query." + std::to_string(si);
+  std::vector<Morsel> morsels;
+  std::vector<ServerPlan> plans(t->servers.size());
+  size_t servers_with_work = 0;
+  for (size_t si = 0; si < t->servers.size(); ++si) {
+    ServerPlan& plan = plans[si];
+    plan.first_morsel = morsels.size();
+    for (const auto& [partition_id, sp] : t->servers[si].partitions) {
+      if (routed_partition >= 0 && partition_id != routed_partition) continue;
+      plan.touched = true;
+      std::vector<int32_t> units;
+      sp.data->PlanMorsels(query, &units, &plan.plan_stats);
+      for (int32_t unit : units) morsels.push_back({sp.data.get(), unit});
+    }
+    plan.num_morsels = morsels.size() - plan.first_morsel;
+    if (plan.num_morsels > 0) ++servers_with_work;
+  }
+
+  // Scatter: morsels are grouped into per-server chunks (a chunk never spans
+  // servers, so the per-server fault site and retry semantics are unchanged)
+  // and fan-out is bounded by pool width — many segments never means many
+  // tasks. Serial path (no executor) = exactly one chunk per server.
+  struct Chunk {
+    size_t server;
+    size_t begin;  // morsel range [begin, end)
+    size_t end;
+  };
+  common::Executor* exec = executor_;
+  const bool parallel = exec != nullptr && morsels.size() > 1;
+  size_t fanout = 1;
+  if (parallel) {
+    fanout = std::max<size_t>(
+        1, exec->num_threads() * 2 / std::max<size_t>(1, servers_with_work));
+  }
+  std::vector<Chunk> chunks;
+  for (size_t si = 0; si < plans.size(); ++si) {
+    const ServerPlan& plan = plans[si];
+    if (plan.num_morsels == 0) continue;
+    size_t pieces = std::min(fanout, plan.num_morsels);
+    for (size_t c = 0; c < pieces; ++c) {
+      size_t begin = plan.first_morsel + plan.num_morsels * c / pieces;
+      size_t end = plan.first_morsel + plan.num_morsels * (c + 1) / pieces;
+      if (begin < end) chunks.push_back({si, begin, end});
+    }
+  }
+
+  // Each morsel writes into its own slot, so the merge below concatenates in
+  // plan order regardless of which pool thread ran what — morsel-parallel
+  // results are bitwise-identical to the serial path by construction.
+  struct MorselOut {
+    std::vector<Row> rows;
+    OlapQueryStats stats;
+  };
+  std::vector<MorselOut> outs(morsels.size());
+  std::vector<Status> chunk_status(chunks.size(), Status::Ok());
+  auto run_chunk = [&](size_t ci) {
+    const Chunk& chunk = chunks[ci];
+    const std::string site = "olap.server.query." + std::to_string(chunk.server);
     // Transient sub-query failures (injected or real) are retried with
     // backoff before the gather ever sees them.
     int64_t attempts = 0;
-    out.status = query_retry_->Run([&] {
+    chunk_status[ci] = query_retry_->Run([&] {
       ++attempts;
-      out.rows.clear();
-      out.stats = OlapQueryStats{};
-      out.touched = false;
       if (faults_ != nullptr) {
         UBERRT_RETURN_IF_ERROR(faults_->Check(site));
       }
-      for (const auto& [partition_id, sp] : t->servers[si].partitions) {
-        if (routed_partition >= 0 && partition_id != routed_partition) continue;
-        out.touched = true;
-        Result<OlapResult> partial = sp.data->Execute(query, &out.stats);
+      for (size_t m = chunk.begin; m < chunk.end; ++m) {
+        MorselOut& out = outs[m];
+        out.rows.clear();
+        out.stats = OlapQueryStats{};
+        Result<OlapResult> partial =
+            morsels[m].part->ExecuteMorsel(query, morsels[m].unit, &out.stats);
         if (!partial.ok()) return partial.status();
-        for (Row& row : partial.value().rows) out.rows.push_back(std::move(row));
+        out.rows = std::move(partial.value().rows);
       }
       return Status::Ok();
     });
     if (attempts > 1) query_retries_->Increment(attempts - 1);
   };
+  common::Executor::RunTaskGroup(parallel && chunks.size() > 1 ? exec : nullptr,
+                                 chunks.size(), run_chunk);
 
-  common::Executor* exec = executor_;
-  if (exec != nullptr && routed_partition < 0 && t->servers.size() > 1) {
-    common::WaitGroup wg;
-    for (size_t si = 0; si < t->servers.size(); ++si) {
-      wg.Add();
-      if (!exec->Submit([&run_server, &wg, si] {
-            run_server(si);
-            wg.Done();
-          })) {
-        run_server(si);  // pool already shut down: degrade to inline
-        wg.Done();
-      }
-    }
-    wg.Wait();
-  } else {
-    for (size_t si = 0; si < t->servers.size(); ++si) run_server(si);
-  }
-
-  // Gather.
+  // Gather: walk servers in plan order; a server fails as a unit (any failed
+  // chunk drops or fails the whole server, never a partial server).
   OlapQueryStats stats;
   std::vector<Row> rows;
-  for (ServerPartial& p : partials) {
-    if (!p.status.ok()) {
+  for (size_t si = 0; si < plans.size(); ++si) {
+    const ServerPlan& plan = plans[si];
+    Status server_status = Status::Ok();
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      if (chunks[ci].server == si && !chunk_status[ci].ok()) {
+        server_status = chunk_status[ci];
+        break;
+      }
+    }
+    if (!server_status.ok()) {
       // Degraded mode: a server that stayed down after retries is dropped
       // from the merge instead of failing the query (Section 4.3's
       // availability-over-completeness trade, opt-in per query).
@@ -427,21 +667,41 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
         ++stats.servers_failed;
         continue;
       }
-      return p.status;
+      return server_status;
     }
-    stats.segments_scanned += p.stats.segments_scanned;
-    stats.rows_scanned += p.stats.rows_scanned;
-    stats.star_tree_hits += p.stats.star_tree_hits;
-    stats.exec_batches += p.stats.exec_batches;
-    stats.bitmap_words += p.stats.bitmap_words;
-    if (p.touched) ++stats.servers_queried;
-    for (Row& row : p.rows) rows.push_back(std::move(row));
+    stats.segments_pruned += plan.plan_stats.segments_pruned;
+    if (plan.touched) ++stats.servers_queried;
+    for (size_t m = plan.first_morsel; m < plan.first_morsel + plan.num_morsels;
+         ++m) {
+      stats.segments_scanned += outs[m].stats.segments_scanned;
+      stats.rows_scanned += outs[m].stats.rows_scanned;
+      stats.star_tree_hits += outs[m].stats.star_tree_hits;
+      stats.exec_batches += outs[m].stats.exec_batches;
+      stats.bitmap_words += outs[m].stats.bitmap_words;
+      for (Row& row : outs[m].rows) rows.push_back(std::move(row));
+    }
   }
   if (stats.exec_batches > 0) exec_batches_->Increment(stats.exec_batches);
   if (stats.bitmap_words > 0) exec_bitmap_words_->Increment(stats.bitmap_words);
+  if (stats.segments_pruned > 0) segments_pruned_->Increment(stats.segments_pruned);
   Result<OlapResult> merged = MergeAndFinalize(query, t->config.schema, std::move(rows));
   if (!merged.ok()) return merged;
   merged.value().stats = stats;
+  // Complete results only: a degraded gather must never be served later as
+  // if it were the whole table.
+  if (use_cache && stats.servers_failed == 0) {
+    std::lock_guard<std::mutex> clock(t->cache_mu);
+    auto [it, inserted] = t->result_cache.emplace(cache_key, Table::CachedResult{});
+    if (inserted) {
+      t->result_cache_fifo.push_back(cache_key);
+      if (t->result_cache_fifo.size() > kResultCacheCapacity) {
+        t->result_cache.erase(t->result_cache_fifo.front());
+        t->result_cache_fifo.pop_front();
+      }
+    }
+    it->second.version = cache_version;
+    it->second.result = merged.value();
+  }
   return merged;
 }
 
@@ -449,13 +709,29 @@ Result<int64_t> OlapCluster::ForceSeal(const std::string& table) {
   Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
   Table* t = found.value().get();
-  std::unique_lock<std::shared_mutex> lock(t->rw_mu);
   int64_t sealed = 0;
-  for (Server& server : t->servers) {
-    for (auto& [partition_id, sp] : server.partitions) {
-      int64_t before = sp.data->NumSealedSegments();
-      UBERRT_RETURN_IF_ERROR(HandleSeal(t, &server, partition_id, &sp, /*force=*/true));
-      sealed += sp.data->NumSealedSegments() - before;
+  {
+    std::unique_lock<std::shared_mutex> lock(t->rw_mu);
+    for (Server& server : t->servers) {
+      for (auto& [partition_id, sp] : server.partitions) {
+        int64_t before = sp.data->NumSealedSegments();
+        UBERRT_RETURN_IF_ERROR(
+            HandleSeal(t, &server, partition_id, &sp, /*force=*/true));
+        if (sp.data->NumSealedSegments() != before) {
+          sealed += sp.data->NumSealedSegments() - before;
+          ++sp.data_version;
+        }
+      }
+    }
+  }
+  if (t->options.archival_mode == ArchivalMode::kSyncCentralized) {
+    // The sync-mode backup happens here, off the exclusive section.
+    bool emptied = false;
+    DrainArchival(t, &emptied);
+    if (emptied) {
+      UnblockArchival(t);
+    } else {
+      t->ingestion_blocked->Increment();
     }
   }
   return sealed;
@@ -465,19 +741,9 @@ Result<int64_t> OlapCluster::DrainArchivalQueue(const std::string& table) {
   Result<std::shared_ptr<Table>> found = FindTable(table);
   if (!found.ok()) return found.status();
   Table* t = found.value().get();
-  std::lock_guard<std::mutex> alock(t->archival_mu);
-  int64_t archived = 0;
-  while (!t->archival_queue.empty()) {
-    PendingArchive& pending = t->archival_queue.front();
-    // Backed-off retries inside ArchivePut; if the store is still down after
-    // that, the segment stays queued (and counted) for the next drain.
-    if (!ArchivePut(pending.key, pending.blob).ok()) break;
-    ++archived;
-    t->archival_queue.pop_front();
-  }
-  if (archived > 0) {
-    t->segments_archived->Increment(archived);
-  }
+  bool emptied = false;
+  int64_t archived = DrainArchival(t, &emptied);
+  if (emptied) UnblockArchival(t);  // sync mode may be waiting on this queue
   return archived;
 }
 
@@ -498,6 +764,7 @@ Status OlapCluster::KillServer(const std::string& table, int32_t server_id) {
   }
   for (auto& [partition_id, sp] : t->servers[static_cast<size_t>(server_id)].partitions) {
     sp.data->DropSealedSegments();
+    ++sp.data_version;  // cached results covering this partition are stale
   }
   return Status::Ok();
 }
@@ -521,6 +788,9 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
       Server& server = t->servers[static_cast<size_t>(server_id)];
       auto pit = server.partitions.find(replica.home_partition);
       if (pit == server.partitions.end()) continue;
+      // Idempotent: a segment the server already holds (double recovery,
+      // or a partial earlier recovery) is never restored twice.
+      if (pit->second.data->HasSegment(segment_name)) continue;
       pit->second.data->RestoreSegment(replica.copy);
       ++report.segments_from_peers;
     }
@@ -535,8 +805,11 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
       ++report.segments_lost;
       continue;
     }
-    Result<std::shared_ptr<Segment>> segment = Segment::Deserialize(blob.value());
-    if (!segment.ok()) {
+    // The archival frame carries seal seq, time bounds and upsert validity;
+    // legacy blobs (bare segments) decode with conservative defaults.
+    Result<RealtimePartition::SealedSegment> restored =
+        DecodeArchivedSegment(blob.value());
+    if (!restored.ok()) {
       ++report.segments_lost;
       continue;
     }
@@ -553,10 +826,22 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
     Server& server = t->servers[static_cast<size_t>(server_id)];
     auto pit = server.partitions.find(partition_id);
     if (pit == server.partitions.end()) continue;
-    RealtimePartition::SealedSegment restored;
-    restored.segment = std::move(segment.value());
-    pit->second.data->RestoreSegment(std::move(restored));
+    if (pit->second.data->HasSegment(segment_name)) continue;
+    if (restored.value().seq < 0) {
+      // Legacy blob: recover the seal order from the segment name.
+      restored.value().seq = std::stol(segment_name.substr(s_pos + 2));
+    }
+    pit->second.data->RestoreSegment(std::move(restored.value()));
     ++report.segments_from_store;
+  }
+  // Restored segments may arrive out of seal order (map iteration, store
+  // listing order). Re-sort by seq and — for upsert tables — replay the
+  // segments to rebuild primary-key locations and row validity. Without the
+  // replay, rows overwritten by later upserts would resurrect on recovery.
+  for (auto& [partition_id, sp] :
+       t->servers[static_cast<size_t>(server_id)].partitions) {
+    sp.data->FinishRestore();
+    ++sp.data_version;
   }
   return report;
 }

@@ -79,6 +79,9 @@ class OlapCluster {
     query_retries_ = metrics_.GetCounter("olap.query_retries");
     exec_batches_ = metrics_.GetCounter("olap.exec.batches");
     exec_bitmap_words_ = metrics_.GetCounter("olap.exec.bitmap_words");
+    segments_pruned_ = metrics_.GetCounter("olap.segments_pruned");
+    result_cache_hits_ = metrics_.GetCounter("olap.result_cache.hits");
+    result_cache_misses_ = metrics_.GetCounter("olap.result_cache.misses");
     common::RetryOptions backup_opts;
     backup_opts.max_attempts = 4;
     backup_retry_ = std::make_unique<common::RetryPolicy>(
@@ -149,6 +152,10 @@ class OlapCluster {
     std::unique_ptr<RealtimePartition> data;
     int64_t stream_offset = 0;
     bool archival_blocked = false;  ///< sync mode: waiting on the store
+    /// Bumped (under exclusive rw_mu) whenever this partition's data
+    /// changes: ingest, seal, kill, recover. The result cache validates
+    /// entries against the sum of the versions a query covers.
+    uint64_t data_version = 0;
   };
   struct Server {
     int32_t id = 0;
@@ -178,7 +185,24 @@ class OlapCluster {
     /// ForceSeal/KillServer/RecoverServer. Never held across map lookups.
     mutable std::shared_mutex rw_mu;
     /// Guards archival_queue only. Lock order: rw_mu -> archival_mu.
+    /// Store I/O (ArchivePut and its retry/backoff) happens ONLY under
+    /// archival_mu, never under rw_mu — a store outage stalls archival,
+    /// not queries.
     mutable std::mutex archival_mu;
+
+    /// Broker result cache for the dashboard path (OlapQuery::use_cache):
+    /// canonical query key -> result captured at a data-version sum.
+    /// Entries whose version no longer matches are recomputed in place;
+    /// FIFO eviction bounds the footprint. Guarded by cache_mu (lock
+    /// order: rw_mu shared -> cache_mu, so versions are stable while the
+    /// cache is consulted).
+    struct CachedResult {
+      uint64_t version = 0;
+      OlapResult result;
+    };
+    std::map<std::string, CachedResult> result_cache;
+    std::deque<std::string> result_cache_fifo;
+    mutable std::mutex cache_mu;
 
     // Hot-path metric handles, resolved once at CreateTable.
     Counter* rows_ingested = nullptr;
@@ -198,6 +222,13 @@ class OlapCluster {
   /// Store put with backoff: every retry is counted in olap.backup_retries
   /// so archival pressure during store flaps is observable.
   Status ArchivePut(const std::string& key, const std::string& blob) const;
+  /// Drains the archival queue under archival_mu only (never call while
+  /// holding rw_mu). Returns segments archived; *emptied reports whether
+  /// the queue is now empty.
+  int64_t DrainArchival(Table* t, bool* emptied) const;
+  /// Clears every partition's archival_blocked flag (brief exclusive
+  /// section) — called after a drain emptied the queue.
+  void UnblockArchival(Table* t) const;
 
   stream::MessageBus* bus_;
   storage::ObjectStore* store_;
@@ -213,6 +244,9 @@ class OlapCluster {
   // (cached handles: the query path never does a registry lookup).
   Counter* exec_batches_ = nullptr;
   Counter* exec_bitmap_words_ = nullptr;
+  Counter* segments_pruned_ = nullptr;
+  Counter* result_cache_hits_ = nullptr;
+  Counter* result_cache_misses_ = nullptr;
   std::unique_ptr<common::RetryPolicy> backup_retry_;
   std::unique_ptr<common::RetryPolicy> query_retry_;
 

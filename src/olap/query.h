@@ -73,7 +73,18 @@ struct OlapQuery {
   /// Values, map-keyed groups). Kept compiled-in forever so the parity fuzz
   /// can diff the vectorized engine against it on any query.
   bool force_scalar = false;
+  /// Dashboard-path switch: serve this query from the broker's per-table
+  /// result cache when a fresh entry exists (invalidated per partition on
+  /// ingest/seal/kill/recover). Off by default so one-shot queries and the
+  /// stats-asserting tests see real executions.
+  bool use_cache = false;
 };
+
+/// Canonical cache key for a query: identical semantics -> identical key
+/// (filters are order-insensitive because they are ANDed, so they are
+/// sorted; values use the typed EncodeRow bytes, never ToString). The table
+/// name is NOT part of the key — the cache itself is per-table.
+std::string CanonicalQueryKey(const OlapQuery& query);
 
 /// Mergeable partial aggregate. Segments return *partial* rows — group
 /// values followed by one 4-value accumulator (count, sum, min, max) per
@@ -101,12 +112,14 @@ Result<AggAccumulator> ReadAccumulator(const Row& row, size_t offset);
 /// Per-query execution statistics (observability + bench assertions).
 struct OlapQueryStats {
   int64_t segments_scanned = 0;
+  int64_t segments_pruned = 0;   ///< sealed segments skipped by zone-map/time pruning
   int64_t rows_scanned = 0;      ///< rows visited by scans (0 for pure index hits)
   int64_t star_tree_hits = 0;    ///< segments answered from the star-tree
   int64_t servers_queried = 0;
   int64_t servers_failed = 0;    ///< sub-queries dropped (allow_partial only)
   int64_t exec_batches = 0;      ///< non-empty row batches the vectorized engine ran
   int64_t bitmap_words = 0;      ///< words touched by selection-bitmap kernels
+  bool from_cache = false;       ///< answered from the broker result cache
 };
 
 struct OlapResult {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "common/hash.h"
+
 namespace uberrt::olap {
 
 namespace {
@@ -294,6 +296,7 @@ Result<std::shared_ptr<Segment>> Segment::Build(std::string name, RowSchema sche
   }
 
   segment->BuildNumericDictionaries();
+  segment->BuildZoneMaps();
   segment->BuildIndexes(config);
   return segment;
 }
@@ -410,6 +413,95 @@ int64_t Segment::MemoryBytes() const {
     }
   }
   return bytes;
+}
+
+// --- Zone maps & bloom pruning ---------------------------------------------
+
+namespace {
+
+/// Dictionaries below this stay bloom-less: a binary search over a handful
+/// of values beats maintaining and probing filter words.
+constexpr size_t kBloomMinCardinality = 64;
+/// Filter bits per distinct value (2 probes -> ~5% false positives).
+constexpr uint64_t kBloomBitsPerValue = 8;
+
+uint64_t BloomHash(const Value& v) { return Fnv1a64(EncodeRow({v})); }
+
+}  // namespace
+
+bool Segment::ZoneMap::MayContain(uint64_t hash) const {
+  if (bloom.empty()) return true;
+  uint64_t h2 = (hash >> 32) | 1;
+  for (uint64_t probe = 0; probe < 2; ++probe) {
+    uint64_t bit = (hash + probe * h2) & bloom_mask;
+    if ((bloom[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void Segment::BuildZoneMaps(bool keep_blooms) {
+  if (!keep_blooms) zones_.clear();
+  zones_.resize(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ZoneMap& zone = zones_[c];
+    const Column& column = columns_[c];
+    if (column.dictionary.empty()) continue;
+    // The dictionary is sorted, so min/max need no extra storage.
+    zone.min = column.dictionary.front();
+    zone.max = column.dictionary.back();
+    if (keep_blooms && !zone.bloom.empty()) continue;
+    zone.bloom.clear();
+    zone.bloom_mask = 0;
+    if (column.dictionary.size() < kBloomMinCardinality) continue;
+    uint64_t bits = 64;
+    while (bits < column.dictionary.size() * kBloomBitsPerValue) bits <<= 1;
+    zone.bloom_mask = bits - 1;
+    zone.bloom.assign(bits / 64, 0);
+    for (const Value& v : column.dictionary) {
+      uint64_t hash = BloomHash(v);
+      uint64_t h2 = (hash >> 32) | 1;
+      for (uint64_t probe = 0; probe < 2; ++probe) {
+        uint64_t bit = (hash + probe * h2) & zone.bloom_mask;
+        zone.bloom[bit >> 6] |= 1ULL << (bit & 63);
+      }
+    }
+  }
+}
+
+bool Segment::CanMatch(const FilterPredicate& pred) const {
+  int idx = ColumnIndex(pred.column);
+  if (idx < 0) return true;  // unknown column: execution reports the error
+  if (zones_.size() != columns_.size()) return true;
+  const Column& column = columns_[static_cast<size_t>(idx)];
+  const ZoneMap& zone = zones_[static_cast<size_t>(idx)];
+  if (column.dictionary.empty()) return false;  // no rows, nothing matches
+  // Coerce exactly like PredicateIdRange so pruning can never disagree with
+  // execution.
+  Value target = CoerceTo(column.type, pred.value);
+  const Value& lo = zone.min;
+  const Value& hi = zone.max;
+  switch (pred.op) {
+    case FilterPredicate::Op::kEq: {
+      if (target < lo || hi < target) return false;
+      if (!zone.MayContain(BloomHash(target))) return false;
+      // The dictionary is resident, so back the bloom's "maybe" with the
+      // exact membership answer.
+      return std::binary_search(column.dictionary.begin(),
+                                column.dictionary.end(), target);
+    }
+    case FilterPredicate::Op::kNe:
+      // Prunable only when every row holds exactly the target value.
+      return !(column.dictionary.size() == 1 && !(lo < target) && !(target < lo));
+    case FilterPredicate::Op::kLt:
+      return lo < target;
+    case FilterPredicate::Op::kLe:
+      return !(target < lo);
+    case FilterPredicate::Op::kGt:
+      return target < hi;
+    case FilterPredicate::Op::kGe:
+      return !(hi < target);
+  }
+  return true;
 }
 
 // --- Filtering -------------------------------------------------------------
@@ -822,6 +914,13 @@ std::string Segment::Serialize() const {
       for (uint64_t w : column.packed.words()) AppendU64(&out, w);
     }
   }
+  // Zone-map bloom filters, computed once at seal; min/max re-derive from
+  // the sorted dictionaries on load.
+  for (const ZoneMap& zone : zones_) {
+    AppendU64(&out, zone.bloom_mask);
+    AppendU64(&out, zone.bloom.size());
+    for (uint64_t w : zone.bloom) AppendU64(&out, w);
+  }
   return out;
 }
 
@@ -923,7 +1022,28 @@ Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
       }
     }
   }
+  // Bloom words are adopted as serialized (hostile geometry rejected);
+  // min/max come from the dictionaries.
+  segment->zones_.resize(num_fields);
+  for (uint32_t c = 0; c < num_fields; ++c) {
+    ZoneMap& zone = segment->zones_[c];
+    uint64_t mask, num_words;
+    if (!ReadU64(blob, &pos, &mask)) return corrupt();
+    if (!ReadU64(blob, &pos, &num_words)) return corrupt();
+    if (num_words > (blob.size() - pos) / 8) return corrupt();
+    const uint64_t bits = num_words * 64;
+    if ((num_words == 0 && mask != 0) ||
+        (num_words > 0 && (mask != bits - 1 || (bits & (bits - 1)) != 0))) {
+      return Status::Corruption("segment blob: bad bloom geometry");
+    }
+    zone.bloom_mask = mask;
+    zone.bloom.resize(num_words);
+    for (uint64_t w = 0; w < num_words; ++w) {
+      if (!ReadU64(blob, &pos, &zone.bloom[w])) return corrupt();
+    }
+  }
   segment->BuildNumericDictionaries();
+  segment->BuildZoneMaps(/*keep_blooms=*/true);
   segment->BuildIndexes(config);
   return segment;
 }

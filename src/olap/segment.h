@@ -102,8 +102,17 @@ class Segment {
   /// star-tree.
   int64_t MemoryBytes() const;
 
-  /// Columnar serialization (dictionaries + packed forward indexes);
-  /// inverted/star-tree indexes are rebuilt on load.
+  /// Zone-map / bloom pruning probe: false means NO row of this segment can
+  /// satisfy `pred`, so the whole segment may be skipped without executing.
+  /// Conservative: unknown columns return true (the execute path then
+  /// reports the error exactly as an unpruned scan would). Range operators
+  /// compare against the per-column min/max; equality consults the
+  /// bloom-style membership filter (high-cardinality columns) or the
+  /// dictionary itself.
+  bool CanMatch(const FilterPredicate& pred) const;
+
+  /// Columnar serialization (dictionaries + packed forward indexes + bloom
+  /// filters); inverted/star-tree indexes are rebuilt on load.
   std::string Serialize() const;
   static Result<std::shared_ptr<Segment>> Deserialize(const std::string& blob);
 
@@ -134,6 +143,22 @@ class Segment {
     int64_t MemoryBytes() const;
   };
 
+  /// Per-column pruning metadata, computed at seal (Build) and carried
+  /// through serialization. min/max fall out of the sorted dictionary; the
+  /// bloom filter covers every distinct value of high-cardinality columns
+  /// so equality predicates prune in O(1) probes. With dictionaries
+  /// resident the bloom is a fast pre-filter backed by an exact dictionary
+  /// check; it is serialized so a future tiered (dictionary-not-resident)
+  /// path can prune from the zone map alone.
+  struct ZoneMap {
+    Value min;
+    Value max;
+    std::vector<uint64_t> bloom;  ///< empty = no bloom (low cardinality)
+    uint64_t bloom_mask = 0;      ///< bit count - 1 (bit count is a power of 2)
+
+    bool MayContain(uint64_t hash) const;
+  };
+
   /// Star-tree cube node key: prefix length + encoded dict ids.
   struct StarTreeCell {
     std::vector<double> sum;
@@ -145,6 +170,9 @@ class Segment {
   void BuildIndexes(const SegmentIndexConfig& config);
   /// Fills each column's dict_numeric table (after dictionaries exist).
   void BuildNumericDictionaries();
+  /// Fills zones_ from the sorted dictionaries; `keep_blooms` preserves
+  /// bloom words adopted from a serialized blob instead of rehashing.
+  void BuildZoneMaps(bool keep_blooms = false);
   int ColumnIndex(const std::string& name) const { return schema_.FieldIndex(name); }
   /// Dict-id range [lo, hi) matching the predicate, or empty.
   Result<std::pair<uint32_t, uint32_t>> PredicateIdRange(const Column& column,
@@ -177,6 +205,7 @@ class Segment {
   RowSchema schema_;
   size_t num_rows_ = 0;
   std::vector<Column> columns_;
+  std::vector<ZoneMap> zones_;  ///< parallel to columns_
   SegmentIndexConfig config_;
   int sorted_column_ = -1;
 

@@ -54,8 +54,9 @@ Status RealtimePartition::Ingest(Row row) {
       if (it->second.segment_index < 0) {
         buffer_validity_[it->second.row_index] = false;
       } else {
-        sealed_[static_cast<size_t>(it->second.segment_index)]
-            .validity[it->second.row_index] = false;
+        // Shared with peer replicas: the invalidation reaches every copy.
+        (*sealed_[static_cast<size_t>(it->second.segment_index)].validity)
+            [it->second.row_index] = false;
       }
     }
     upsert_locations_[key] = {-1, static_cast<uint32_t>(buffer_.size())};
@@ -83,7 +84,10 @@ Result<std::shared_ptr<Segment>> RealtimePartition::SealIfNeeded(bool force) {
 
   SealedSegment sealed;
   sealed.segment = built.value();
-  if (config_.upsert_enabled) sealed.validity = buffer_validity_;
+  sealed.seq = next_segment_seq_ - 1;
+  if (config_.upsert_enabled) {
+    sealed.validity = std::make_shared<std::vector<bool>>(buffer_validity_);
+  }
   if (time_index_ >= 0) {
     sealed.min_time = INT64_MAX;
     sealed.max_time = INT64_MIN;
@@ -210,8 +214,9 @@ Result<OlapResult> RealtimePartition::ExecuteOnBuffer(const OlapQuery& query,
   return result;
 }
 
-Result<OlapResult> RealtimePartition::Execute(const OlapQuery& query,
-                                              OlapQueryStats* stats) const {
+void RealtimePartition::PlanMorsels(const OlapQuery& query,
+                                    std::vector<int32_t>* morsels,
+                                    OlapQueryStats* stats) const {
   // Derive a time window from predicates on the time column for segment
   // pruning ("data is chunked by time boundary", Section 4.3).
   TimestampMs query_min = INT64_MIN, query_max = INT64_MAX;
@@ -238,19 +243,117 @@ Result<OlapResult> RealtimePartition::Execute(const OlapQuery& query,
     }
   }
 
+  for (size_t i = 0; i < sealed_.size(); ++i) {
+    const SealedSegment& sealed = sealed_[i];
+    if (sealed.max_time < query_min || sealed.min_time > query_max) {
+      ++stats->segments_pruned;
+      continue;
+    }
+    bool can_match = true;
+    for (const FilterPredicate& pred : query.filters) {
+      if (!sealed.segment->CanMatch(pred)) {
+        can_match = false;
+        break;
+      }
+    }
+    if (!can_match) {
+      ++stats->segments_pruned;
+      continue;
+    }
+    morsels->push_back(static_cast<int32_t>(i));
+  }
+  // The consuming buffer is always a morsel, even when empty: column
+  // validation (unknown column -> InvalidArgument) must not depend on how
+  // many segments were pruned.
+  morsels->push_back(-1);
+}
+
+Result<OlapResult> RealtimePartition::ExecuteMorsel(const OlapQuery& query,
+                                                    int32_t morsel,
+                                                    OlapQueryStats* stats) const {
+  if (morsel < 0) return ExecuteOnBuffer(query, stats);
+  const SealedSegment& sealed = sealed_[static_cast<size_t>(morsel)];
+  return sealed.segment->Execute(query, sealed.validity.get(), stats);
+}
+
+Result<OlapResult> RealtimePartition::Execute(const OlapQuery& query,
+                                              OlapQueryStats* stats) const {
+  std::vector<int32_t> morsels;
+  PlanMorsels(query, &morsels, stats);
   OlapResult merged;
-  for (const SealedSegment& sealed : sealed_) {
-    if (sealed.max_time < query_min || sealed.min_time > query_max) continue;
-    const std::vector<bool>* validity =
-        sealed.validity.empty() ? nullptr : &sealed.validity;
-    Result<OlapResult> partial = sealed.segment->Execute(query, validity, stats);
+  for (int32_t morsel : morsels) {
+    Result<OlapResult> partial = ExecuteMorsel(query, morsel, stats);
     if (!partial.ok()) return partial.status();
     for (Row& row : partial.value().rows) merged.rows.push_back(std::move(row));
   }
-  Result<OlapResult> from_buffer = ExecuteOnBuffer(query, stats);
-  if (!from_buffer.ok()) return from_buffer.status();
-  for (Row& row : from_buffer.value().rows) merged.rows.push_back(std::move(row));
   return merged;
+}
+
+void RealtimePartition::DropSealedSegments() {
+  sealed_.clear();
+  // Stale sealed locations must go with the segments: a later Ingest of the
+  // same key would otherwise write validity through an out-of-range index.
+  // Buffer locations stay live (the consuming buffer survives a kill).
+  for (auto it = upsert_locations_.begin(); it != upsert_locations_.end();) {
+    if (it->second.segment_index >= 0) {
+      it = upsert_locations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool RealtimePartition::HasSegment(const std::string& name) const {
+  for (const SealedSegment& s : sealed_) {
+    if (s.segment->name() == name) return true;
+  }
+  return false;
+}
+
+void RealtimePartition::FinishRestore() {
+  std::stable_sort(sealed_.begin(), sealed_.end(),
+                   [](const SealedSegment& a, const SealedSegment& b) {
+                     return a.seq < b.seq;
+                   });
+  if (config_.upsert_enabled) RebuildUpsertState();
+}
+
+void RealtimePartition::RebuildUpsertState() {
+  if (primary_key_index_ < 0) return;
+  upsert_locations_.clear();
+  for (SealedSegment& s : sealed_) {
+    // Fresh all-valid vectors: archived snapshots are stale the moment a
+    // later row superseded one of their keys, so validity is derived from
+    // the replay below, never trusted from a restore source.
+    s.validity =
+        std::make_shared<std::vector<bool>>(s.segment->NumRows(), true);
+  }
+  buffer_validity_.assign(buffer_.size(), true);
+  auto claim = [&](const std::string& key, int32_t segment_index,
+                   uint32_t row_index) {
+    auto it = upsert_locations_.find(key);
+    if (it != upsert_locations_.end()) {
+      if (it->second.segment_index < 0) {
+        buffer_validity_[it->second.row_index] = false;
+      } else {
+        (*sealed_[static_cast<size_t>(it->second.segment_index)].validity)
+            [it->second.row_index] = false;
+      }
+    }
+    upsert_locations_[key] = {segment_index, row_index};
+  };
+  // Seal order then buffer = ingest order: the last claim per key wins.
+  for (size_t si = 0; si < sealed_.size(); ++si) {
+    const Segment& segment = *sealed_[si].segment;
+    for (int64_t r = 0; r < segment.NumRows(); ++r) {
+      claim(segment.GetValue(static_cast<size_t>(r), primary_key_index_).ToString(),
+            static_cast<int32_t>(si), static_cast<uint32_t>(r));
+    }
+  }
+  for (size_t r = 0; r < buffer_.size(); ++r) {
+    claim(buffer_[r][static_cast<size_t>(primary_key_index_)].ToString(), -1,
+          static_cast<uint32_t>(r));
+  }
 }
 
 }  // namespace uberrt::olap

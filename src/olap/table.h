@@ -48,8 +48,24 @@ class RealtimePartition {
   Result<std::shared_ptr<Segment>> SealIfNeeded(bool force = false);
 
   /// Executes a query over all sealed segments + the consuming buffer.
-  /// Results are partial rows (see AggAccumulator).
+  /// Results are partial rows (see AggAccumulator). Equivalent to
+  /// PlanMorsels + ExecuteMorsel over every planned morsel in order — the
+  /// broker's parallel path runs exactly that decomposition, so serial and
+  /// morsel-parallel results are identical by construction.
   Result<OlapResult> Execute(const OlapQuery& query, OlapQueryStats* stats) const;
+
+  /// Plans this partition's morsels (units of query work): one per sealed
+  /// segment that survives time-window + zone-map/bloom pruning, plus one
+  /// for the consuming buffer (always planned, so errors like unknown
+  /// columns surface identically with or without pruning). Appends segment
+  /// indexes (>= 0) then -1 for the buffer; pruned segments are counted in
+  /// stats->segments_pruned.
+  void PlanMorsels(const OlapQuery& query, std::vector<int32_t>* morsels,
+                   OlapQueryStats* stats) const;
+
+  /// Executes one planned morsel (-1 = consuming buffer).
+  Result<OlapResult> ExecuteMorsel(const OlapQuery& query, int32_t morsel,
+                                   OlapQueryStats* stats) const;
 
   int64_t NumRows() const;
   /// Rows currently in the (unsealed) consuming buffer.
@@ -60,19 +76,36 @@ class RealtimePartition {
   int32_t partition_id() const { return partition_id_; }
 
   /// Sealed segments with their validity vectors (for replication and
-  /// recovery).
+  /// recovery). `validity` is shared (not copied) with peer replicas so an
+  /// upsert invalidation that lands after replication is visible to every
+  /// holder of the segment.
   struct SealedSegment {
     std::shared_ptr<Segment> segment;
-    std::vector<bool> validity;  ///< upsert tables only; empty = all valid
+    /// Upsert tables only; null = all rows valid.
+    std::shared_ptr<std::vector<bool>> validity;
     TimestampMs min_time = INT64_MIN;
     TimestampMs max_time = INT64_MAX;
+    /// Seal sequence within the partition: recovery re-sorts restored
+    /// segments by it so row order (and upsert replay order) is stable.
+    int64_t seq = -1;
   };
   const std::vector<SealedSegment>& sealed() const { return sealed_; }
 
   /// Drops all sealed segments (simulated server loss) keeping the
-  /// consuming buffer; recovery re-adds them via RestoreSegment.
-  void DropSealedSegments() { sealed_.clear(); }
+  /// consuming buffer; recovery re-adds them via RestoreSegment. Upsert
+  /// locations pointing into the dropped segments are erased — a later
+  /// Ingest for such a key must not write through a stale index.
+  void DropSealedSegments();
   void RestoreSegment(SealedSegment segment) { sealed_.push_back(std::move(segment)); }
+  bool HasSegment(const std::string& name) const;
+
+  /// Call after a batch of RestoreSegment calls: re-sorts sealed segments
+  /// by seal sequence and, for upsert tables, rebuilds the key->location
+  /// index and every validity vector by replaying segments in seal order
+  /// followed by the consuming buffer. Archived validity snapshots may be
+  /// stale; the replay recomputes the truth from row contents (the stream
+  /// is partitioned by primary key, so every version of a key is local).
+  void FinishRestore();
 
  private:
   struct UpsertLocation {
@@ -82,6 +115,8 @@ class RealtimePartition {
 
   Result<OlapResult> ExecuteOnBuffer(const OlapQuery& query,
                                      OlapQueryStats* stats) const;
+  /// Recomputes upsert_locations_ + validity from current contents.
+  void RebuildUpsertState();
 
   TableConfig config_;
   int32_t partition_id_;

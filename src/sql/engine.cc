@@ -419,6 +419,7 @@ Result<QueryResult> PrestoEngine::ExecuteStmt(const SelectStmt& stmt) const {
                 static_cast<int64_t>(query.filters.size());
             result.stats.rows_fetched =
                 static_cast<int64_t>(pushed.value().rows.size());
+            result.stats.segments_pruned = pushed.value().stats.segments_pruned;
             // Re-project into select-item order.
             RowSchema pushed_schema = pushed.value().schema;
             std::vector<int> indices;
@@ -479,6 +480,7 @@ Result<QueryResult> PrestoEngine::ExecuteStmt(const SelectStmt& stmt) const {
           result.stats.aggregation_pushed = false;
           result.stats.predicates_pushed = static_cast<int64_t>(query.filters.size());
           result.stats.rows_fetched = static_cast<int64_t>(pushed.value().rows.size());
+          result.stats.segments_pruned = pushed.value().stats.segments_pruned;
           std::vector<FieldSpec> fields;
           for (size_t i = 0; i < columns.size(); ++i) {
             fields.push_back({star ? columns[i] : SelectItemName(stmt.items[i]),

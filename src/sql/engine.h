@@ -96,6 +96,9 @@ struct ExecStats {
   int64_t rows_fetched = 0;
   int64_t predicates_pushed = 0;
   bool aggregation_pushed = false;
+  /// Sealed segments the OLAP layer skipped via zone-map/time pruning on
+  /// pushed-down scans (0 when nothing was pushed down).
+  int64_t segments_pruned = 0;
 };
 
 struct QueryResult {
