@@ -11,7 +11,9 @@
 #      must show the vectorized engine no slower than the scalar oracle
 #      (UBERRT_PERF_GATE); the honest ratio + core count land in BENCH_c5.json.
 #      bench_stream_throughput likewise gates the batched/zero-copy stream
-#      path against the per-message baseline (ratios in BENCH_stream.json).
+#      path against the per-message baseline (ratios in BENCH_stream.json),
+#      and bench_tiering gates the warm-tier footprint and the cluster
+#      memory budget (curves in BENCH_tiering.json).
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -21,14 +23,14 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test|olap_morsel_parity_test|olap_upsert_recovery_test"
+CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test|olap_morsel_parity_test|olap_upsert_recovery_test|olap_tiering_test"
 for SAN in address thread; do
   echo "== sanitizer gate: ${SAN} =="
   cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
   cmake --build "build-${SAN}" -j --target \
     common_executor_test stream_log_test stream_broker_concurrency_test \
     olap_cluster_concurrency_test chaos_soak_test olap_vectorized_parity_test \
-    olap_morsel_parity_test olap_upsert_recovery_test
+    olap_morsel_parity_test olap_upsert_recovery_test olap_tiering_test
   ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
 done
 
@@ -59,6 +61,14 @@ cmake --build build -j --target bench_stream_throughput
 echo "== perf smoke: 64-way concurrency (bench_concurrency) =="
 cmake --build build -j --target bench_concurrency
 (cd build && UBERRT_PERF_GATE=1 ./bench/bench_concurrency)
+
+# Perf smoke: the segment tier sweep — the all-warm footprint must stay
+# under 0.5x the all-hot footprint, and a budget at 40% of all-hot must hold
+# within 1.1x across a query pass with bitwise-identical results
+# (BENCH_tiering.json records the footprint/latency curve per tier mix).
+echo "== perf smoke: segment tiers under memory budget (bench_tiering) =="
+cmake --build build -j --target bench_tiering
+(cd build && UBERRT_PERF_GATE=1 ./bench/bench_tiering)
 
 # Regenerate the remaining headline bench artifacts (ungated: these record
 # measured values next to the paper's claims) and persist every BENCH_*.json

@@ -9,103 +9,22 @@ namespace uberrt::olap {
 
 namespace {
 
-void FrameAppendU64(std::string* out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-bool FrameReadU64(const std::string& data, size_t* pos, uint64_t* out) {
-  if (*pos + 8 > data.size()) return false;
-  std::memcpy(out, data.data() + *pos, 8);
-  *pos += 8;
-  return true;
-}
-
-constexpr uint64_t kArchiveMagic = 0x314745535F545255ULL;  // "URT_SEG1"
-
-/// Archival frame: the segment blob plus the cluster-level sealing state
-/// (seal seq, time bounds, upsert validity bits) that Segment::Serialize
-/// cannot know. Without the validity bits, store-path recovery resurrected
-/// overwritten upsert rows: restored segments came back all-valid.
-std::string EncodeArchivedSegment(const RealtimePartition::SealedSegment& s) {
-  std::string out;
-  FrameAppendU64(&out, kArchiveMagic);
-  FrameAppendU64(&out, static_cast<uint64_t>(s.seq));
-  FrameAppendU64(&out, static_cast<uint64_t>(s.min_time));
-  FrameAppendU64(&out, static_cast<uint64_t>(s.max_time));
-  if (s.validity == nullptr) {
-    FrameAppendU64(&out, 0);
-  } else {
-    FrameAppendU64(&out, 1);
-    FrameAppendU64(&out, s.validity->size());
-    uint64_t word = 0;
-    int bit = 0;
-    for (size_t i = 0; i < s.validity->size(); ++i) {
-      if ((*s.validity)[i]) word |= 1ULL << bit;
-      if (++bit == 64) {
-        FrameAppendU64(&out, word);
-        word = 0;
-        bit = 0;
+/// Footprint estimate of one cached result, charged against the per-table
+/// byte cap and the cluster memory budget. Mirrors the row accounting of
+/// RealtimePartition::MemoryBytes (+ the key and entry overhead).
+int64_t EstimateResultBytes(const std::string& key, const OlapResult& result) {
+  int64_t bytes = static_cast<int64_t>(key.size()) + 64;
+  for (const Row& row : result.rows) {
+    bytes += 16;
+    for (const Value& v : row) {
+      bytes += 16;
+      if (v.type() == ValueType::kString) {
+        bytes += static_cast<int64_t>(v.AsString().size());
       }
     }
-    if (bit > 0) FrameAppendU64(&out, word);
   }
-  out.append(s.segment->Serialize());
-  return out;
+  return bytes;
 }
-
-Result<RealtimePartition::SealedSegment> DecodeArchivedSegment(
-    const std::string& blob) {
-  RealtimePartition::SealedSegment s;
-  size_t pos = 0;
-  uint64_t magic = 0;
-  if (!FrameReadU64(blob, &pos, &magic) || magic != kArchiveMagic) {
-    // Legacy blob: a bare segment with no frame. Conservative defaults
-    // (no time bounds, all rows valid, unknown seq).
-    Result<std::shared_ptr<Segment>> segment = Segment::Deserialize(blob);
-    if (!segment.ok()) return segment.status();
-    s.segment = std::move(segment.value());
-    return s;
-  }
-  auto corrupt = [] { return Status::Corruption("archived segment frame truncated"); };
-  uint64_t seq, min_time, max_time, has_validity;
-  if (!FrameReadU64(blob, &pos, &seq) || !FrameReadU64(blob, &pos, &min_time) ||
-      !FrameReadU64(blob, &pos, &max_time) ||
-      !FrameReadU64(blob, &pos, &has_validity)) {
-    return corrupt();
-  }
-  s.seq = static_cast<int64_t>(seq);
-  s.min_time = static_cast<TimestampMs>(min_time);
-  s.max_time = static_cast<TimestampMs>(max_time);
-  if (has_validity != 0) {
-    uint64_t num_bits;
-    if (!FrameReadU64(blob, &pos, &num_bits)) return corrupt();
-    const uint64_t num_words = (num_bits + 63) / 64;
-    if (num_words > (blob.size() - pos) / 8) return corrupt();
-    auto validity = std::make_shared<std::vector<bool>>(num_bits, true);
-    for (uint64_t w = 0; w < num_words; ++w) {
-      uint64_t word;
-      if (!FrameReadU64(blob, &pos, &word)) return corrupt();
-      const uint64_t base = w * 64;
-      for (uint64_t b = 0; b < 64 && base + b < num_bits; ++b) {
-        (*validity)[base + b] = ((word >> b) & 1) != 0;
-      }
-    }
-    s.validity = std::move(validity);
-  }
-  Result<std::shared_ptr<Segment>> segment = Segment::Deserialize(blob.substr(pos));
-  if (!segment.ok()) return segment.status();
-  s.segment = std::move(segment.value());
-  if (s.validity != nullptr &&
-      static_cast<int64_t>(s.validity->size()) != s.segment->NumRows()) {
-    return Status::Corruption("archived segment validity length mismatch");
-  }
-  return s;
-}
-
-/// FIFO bound on each table's broker result cache.
-constexpr size_t kResultCacheCapacity = 128;
 
 }  // namespace
 
@@ -230,7 +149,7 @@ Status OlapCluster::CreateTable(TableConfig config, const std::string& source_to
   for (int32_t p = 0; p < partitions.value(); ++p) {
     Server& server = t->servers[static_cast<size_t>(p % options.num_servers)];
     ServerPartition sp;
-    sp.data = std::make_unique<RealtimePartition>(config, p);
+    sp.data = std::make_unique<RealtimePartition>(config, p, lifecycle_.get());
     Result<int64_t> begin = bus_->BeginOffset(source_topic, p);
     if (!begin.ok()) return begin.status();
     sp.stream_offset = begin.value();
@@ -259,6 +178,14 @@ Status OlapCluster::DropTable(const std::string& table) {
   if (it == tables_.end()) return Status::NotFound("no table: " + table);
   victim = std::move(it->second);
   tables_.erase(it);
+  {
+    // Un-charge the dropped table's result cache from the cluster gauge.
+    std::lock_guard<std::mutex> clock(victim->cache_mu);
+    result_cache_bytes_->Add(-victim->result_cache_bytes);
+    victim->result_cache_bytes = 0;
+    victim->result_cache.clear();
+    victim->result_cache_lru.clear();
+  }
   return Status::Ok();
 }
 
@@ -325,7 +252,13 @@ Status OlapCluster::HandleSeal(Table* t, Server* server, int32_t partition_id,
   const auto& sealed_list = sp->data->sealed();
   const RealtimePartition::SealedSegment& sealed_entry = sealed_list.back();
   std::string key = SegmentKey(t->config.name, segment->name());
-  std::string blob = EncodeArchivedSegment(sealed_entry);
+  SegmentFrame frame;
+  frame.seq = sealed_entry.handle->seq();
+  frame.min_time = sealed_entry.handle->min_time();
+  frame.max_time = sealed_entry.handle->max_time();
+  frame.validity = sealed_entry.validity;
+  frame.segment = segment;
+  std::string blob = EncodeSegmentFrame(frame);
 
   if (t->options.archival_mode == ArchivalMode::kSyncCentralized) {
     // One controller, synchronous backup: consumption halts until the
@@ -465,6 +398,10 @@ Result<int64_t> OlapCluster::IngestOnce(const std::string& table,
     // Backup succeeded: run another consume round (budget permitting) so a
     // healthy store never caps throughput at one segment per call.
   }
+  // Freshly sealed segments may push the cluster past its memory budget;
+  // enforce only after the exclusive section above is released (demotions
+  // never run under rw_mu).
+  if (lifecycle_->memory_budget_bytes() > 0) lifecycle_->EnforceBudget();
   return ingested;
 }
 
@@ -545,6 +482,9 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
     auto it = t->result_cache.find(cache_key);
     if (it != t->result_cache.end() && it->second.version == cache_version) {
       result_cache_hits_->Increment();
+      // LRU: a hit moves the entry to the front.
+      t->result_cache_lru.splice(t->result_cache_lru.begin(),
+                                 t->result_cache_lru, it->second.lru_it);
       OlapResult cached = it->second.result;
       cached.stats.from_cache = true;
       return cached;
@@ -678,12 +618,17 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
       stats.star_tree_hits += outs[m].stats.star_tree_hits;
       stats.exec_batches += outs[m].stats.exec_batches;
       stats.bitmap_words += outs[m].stats.bitmap_words;
+      stats.segments_hot += outs[m].stats.segments_hot;
+      stats.segments_warm += outs[m].stats.segments_warm;
+      stats.segments_cold += outs[m].stats.segments_cold;
+      stats.columns_materialized += outs[m].stats.columns_materialized;
       for (Row& row : outs[m].rows) rows.push_back(std::move(row));
     }
   }
   if (stats.exec_batches > 0) exec_batches_->Increment(stats.exec_batches);
   if (stats.bitmap_words > 0) exec_bitmap_words_->Increment(stats.bitmap_words);
   if (stats.segments_pruned > 0) segments_pruned_->Increment(stats.segments_pruned);
+  lifecycle_->CountMaterializations(stats.columns_materialized);
   Result<OlapResult> merged = MergeAndFinalize(query, t->config.schema, std::move(rows));
   if (!merged.ok()) return merged;
   merged.value().stats = stats;
@@ -691,16 +636,38 @@ Result<OlapResult> OlapCluster::Query(const std::string& table,
   // if it were the whole table.
   if (use_cache && stats.servers_failed == 0) {
     std::lock_guard<std::mutex> clock(t->cache_mu);
+    const int64_t bytes_before = t->result_cache_bytes;
     auto [it, inserted] = t->result_cache.emplace(cache_key, Table::CachedResult{});
     if (inserted) {
-      t->result_cache_fifo.push_back(cache_key);
-      if (t->result_cache_fifo.size() > kResultCacheCapacity) {
-        t->result_cache.erase(t->result_cache_fifo.front());
-        t->result_cache_fifo.pop_front();
-      }
+      t->result_cache_lru.push_front(cache_key);
+      it->second.lru_it = t->result_cache_lru.begin();
+    } else {
+      // Recomputed in place: un-charge the stale bytes, refresh recency.
+      t->result_cache_bytes -= it->second.bytes;
+      t->result_cache_lru.splice(t->result_cache_lru.begin(),
+                                 t->result_cache_lru, it->second.lru_it);
     }
     it->second.version = cache_version;
     it->second.result = merged.value();
+    it->second.bytes = EstimateResultBytes(cache_key, it->second.result);
+    t->result_cache_bytes += it->second.bytes;
+    // LRU eviction under the byte cap — never the entry just written, so
+    // one oversized result still caches (and evicts everything else).
+    while (t->result_cache_bytes > options_.result_cache_max_bytes &&
+           t->result_cache_lru.size() > 1) {
+      auto victim = t->result_cache.find(t->result_cache_lru.back());
+      t->result_cache_bytes -= victim->second.bytes;
+      t->result_cache.erase(victim);
+      t->result_cache_lru.pop_back();
+    }
+    result_cache_bytes_->Add(t->result_cache_bytes - bytes_before);
+  }
+  // A query that reloaded cold segments or materialized lazy columns grew
+  // the resident set; settle the budget outside the shared lock.
+  lock.unlock();
+  if (lifecycle_->memory_budget_bytes() > 0 &&
+      (stats.segments_cold > 0 || stats.columns_materialized > 0)) {
+    lifecycle_->EnforceBudget();
   }
   return merged;
 }
@@ -734,6 +701,7 @@ Result<int64_t> OlapCluster::ForceSeal(const std::string& table) {
       t->ingestion_blocked->Increment();
     }
   }
+  if (lifecycle_->memory_budget_bytes() > 0) lifecycle_->EnforceBudget();
   return sealed;
 }
 
@@ -807,8 +775,7 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
     }
     // The archival frame carries seal seq, time bounds and upsert validity;
     // legacy blobs (bare segments) decode with conservative defaults.
-    Result<RealtimePartition::SealedSegment> restored =
-        DecodeArchivedSegment(blob.value());
+    Result<SegmentFrame> restored = DecodeSegmentFrame(blob.value());
     if (!restored.ok()) {
       ++report.segments_lost;
       continue;
@@ -827,11 +794,17 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
     auto pit = server.partitions.find(partition_id);
     if (pit == server.partitions.end()) continue;
     if (pit->second.data->HasSegment(segment_name)) continue;
-    if (restored.value().seq < 0) {
+    SegmentFrame& frame = restored.value();
+    if (frame.seq < 0) {
       // Legacy blob: recover the seal order from the segment name.
-      restored.value().seq = std::stol(segment_name.substr(s_pos + 2));
+      frame.seq = std::stol(segment_name.substr(s_pos + 2));
     }
-    pit->second.data->RestoreSegment(std::move(restored.value()));
+    RealtimePartition::SealedSegment entry;
+    entry.handle = SegmentHandle::Create(frame.segment, frame.seq, frame.min_time,
+                                         frame.max_time, frame.validity, key,
+                                         lifecycle_.get());
+    entry.validity = std::move(frame.validity);
+    pit->second.data->RestoreSegment(std::move(entry));
     ++report.segments_from_store;
   }
   // Restored segments may arrive out of seal order (map iteration, store
@@ -840,7 +813,10 @@ Result<RecoveryReport> OlapCluster::RecoverServer(const std::string& table,
   // replay, rows overwritten by later upserts would resurrect on recovery.
   for (auto& [partition_id, sp] :
        t->servers[static_cast<size_t>(server_id)].partitions) {
-    sp.data->FinishRestore();
+    // A restored segment that meanwhile went cold must materialize for the
+    // upsert replay; a store outage here surfaces instead of silently
+    // resurrecting overwritten rows.
+    UBERRT_RETURN_IF_ERROR(sp.data->FinishRestore());
     ++sp.data_version;
   }
   return report;
@@ -870,6 +846,76 @@ Result<int64_t> OlapCluster::MemoryBytes(const std::string& table) const {
     }
   }
   return bytes;
+}
+
+Result<int64_t> OlapCluster::CompactOnce(const std::string& table) {
+  Result<std::shared_ptr<Table>> found = FindTable(table);
+  if (!found.ok()) return found.status();
+  Table* t = found.value().get();
+
+  // Claim under the shared lock only: the claim flips an atomic flag on the
+  // handle, so concurrent CompactOnce calls never double-build a segment
+  // and ingestion/queries proceed meanwhile.
+  std::vector<std::shared_ptr<SegmentHandle>> pending;
+  RowSchema schema;
+  SegmentIndexConfig index_config;
+  {
+    std::shared_lock<std::shared_mutex> lock(t->rw_mu);
+    schema = t->config.schema;
+    for (const Server& server : t->servers) {
+      for (const auto& [partition_id, sp] : server.partitions) {
+        sp.data->ClaimPendingCompactions(&pending);
+        index_config = sp.data->CompactionIndexConfig();
+      }
+    }
+  }
+  if (pending.empty()) return 0;
+
+  // Rebuild off the lock (and off the write path): re-read the rows,
+  // build with the table's full index configuration, swap into the shared
+  // handle. Row order is preserved — a deferred seal already applied the
+  // sorted column, and upsert tables never sort — so validity vectors and
+  // upsert locations stay valid and results never change (no data_version
+  // bump: cached results remain correct).
+  std::vector<Status> statuses(pending.size(), Status::Ok());
+  auto rebuild = [&](size_t i) {
+    const std::shared_ptr<SegmentHandle>& handle = pending[i];
+    Result<std::shared_ptr<Segment>> acquired = handle->AcquireFull();
+    if (!acquired.ok()) {
+      statuses[i] = acquired.status();
+      return;
+    }
+    const std::shared_ptr<Segment>& old = acquired.value();
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(old->NumRows()));
+    for (int64_t r = 0; r < old->NumRows(); ++r) {
+      rows.push_back(old->GetRow(static_cast<size_t>(r)));
+    }
+    Result<std::shared_ptr<Segment>> rebuilt =
+        Segment::Build(old->name(), schema, rows, index_config);
+    if (!rebuilt.ok()) {
+      statuses[i] = rebuilt.status();
+      return;
+    }
+    handle->ReplaceSegment(rebuilt.value());
+  };
+  common::Executor::RunTaskGroup(executor_, pending.size(), rebuild);
+
+  int64_t compacted = 0;
+  Status first_error = Status::Ok();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (statuses[i].ok()) {
+      ++compacted;
+    } else {
+      // Give the claim back: the next pump retries this segment.
+      pending[i]->SetNeedsCompaction(true);
+      if (first_error.ok()) first_error = statuses[i];
+    }
+  }
+  if (compacted == 0 && !first_error.ok()) return first_error;
+  // Rebuilt segments return to hot; settle the budget.
+  if (lifecycle_->memory_budget_bytes() > 0) lifecycle_->EnforceBudget();
+  return compacted;
 }
 
 }  // namespace uberrt::olap

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "common/metrics.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "olap/lifecycle.h"
 #include "olap/query.h"
 #include "olap/table.h"
 #include "storage/object_store.h"
@@ -45,6 +47,17 @@ struct RecoveryReport {
   int64_t segments_lost = 0;
 };
 
+/// Cluster-wide knobs (Section 4.3.4: memory is the scarce resource on
+/// realtime servers; history migrates to the archival tier).
+struct OlapClusterOptions {
+  /// Budget for sealed-segment resident bytes plus the result caches,
+  /// across every table. When exceeded, the lifecycle manager demotes
+  /// segments hot->warm->cold by query recency. 0 = unlimited.
+  int64_t memory_budget_bytes = 0;
+  /// Byte cap for each table's broker result cache (LRU eviction).
+  int64_t result_cache_max_bytes = 4 << 20;
+};
+
 /// The Pinot-like cluster: realtime servers ingesting from the stream
 /// (stream partition p lives on server p % num_servers, shared-nothing) and
 /// a broker executing scatter-gather-merge queries (Section 4.3). For
@@ -72,9 +85,11 @@ struct RecoveryReport {
 class OlapCluster {
  public:
   OlapCluster(stream::MessageBus* bus, storage::ObjectStore* segment_store,
-              common::Executor* executor = nullptr)
-      : bus_(bus), store_(segment_store), executor_(executor) {
+              common::Executor* executor = nullptr,
+              OlapClusterOptions options = OlapClusterOptions())
+      : bus_(bus), store_(segment_store), executor_(executor), options_(options) {
     queries_executing_ = metrics_.GetGauge("olap.queries_executing");
+    result_cache_bytes_ = metrics_.GetGauge("olap.result_cache.bytes");
     backup_retries_ = metrics_.GetCounter("olap.backup_retries");
     query_retries_ = metrics_.GetCounter("olap.query_retries");
     exec_batches_ = metrics_.GetCounter("olap.exec.batches");
@@ -90,6 +105,12 @@ class OlapCluster {
     query_opts.max_attempts = 3;
     query_retry_ = std::make_unique<common::RetryPolicy>(
         "olap.query", query_opts, SystemClock::Instance(), &metrics_);
+    LifecycleOptions lopts;
+    lopts.memory_budget_bytes = options_.memory_budget_bytes;
+    lifecycle_ = std::make_unique<LifecycleManager>(store_, &metrics_, lopts);
+    // Result-cache bytes count against the same budget as segments.
+    lifecycle_->SetExternalBytesFn(
+        [this] { return result_cache_bytes_->value(); });
   }
 
   /// Swaps the scatter-gather pool; nullptr restores the serial path.
@@ -147,6 +168,22 @@ class OlapCluster {
   Result<int64_t> NumRows(const std::string& table) const;
   Result<int64_t> MemoryBytes(const std::string& table) const;
 
+  /// One background-compaction pump: claims every sealed segment flagged
+  /// for a deferred index rebuild (see TableConfig::deferred_index_build),
+  /// re-reads its rows and rebuilds it with the table's full index
+  /// configuration (inverted + star-tree + re-sort), then swaps the rebuilt
+  /// segment into the shared handle. Runs on the attached executor when
+  /// present; queries proceed concurrently (in-flight ones finish on the
+  /// old segment — identical rows either way). Returns segments compacted.
+  Result<int64_t> CompactOnce(const std::string& table);
+
+  /// Applies the cluster memory budget now (also runs automatically after
+  /// ingest/seal and after queries that materialized or reloaded
+  /// segments). Returns demotions performed.
+  int64_t EnforceMemoryBudget() { return lifecycle_->EnforceBudget(); }
+  void SetMemoryBudget(int64_t bytes) { lifecycle_->SetMemoryBudget(bytes); }
+  LifecycleManager* lifecycle() { return lifecycle_.get(); }
+
  private:
   struct ServerPartition {
     std::unique_ptr<RealtimePartition> data;
@@ -193,15 +230,19 @@ class OlapCluster {
     /// Broker result cache for the dashboard path (OlapQuery::use_cache):
     /// canonical query key -> result captured at a data-version sum.
     /// Entries whose version no longer matches are recomputed in place;
-    /// FIFO eviction bounds the footprint. Guarded by cache_mu (lock
-    /// order: rw_mu shared -> cache_mu, so versions are stable while the
-    /// cache is consulted).
+    /// LRU eviction under a byte cap bounds the footprint, and the bytes
+    /// are charged against the cluster memory budget. Guarded by cache_mu
+    /// (lock order: rw_mu shared -> cache_mu, so versions are stable while
+    /// the cache is consulted).
     struct CachedResult {
       uint64_t version = 0;
       OlapResult result;
+      int64_t bytes = 0;
+      std::list<std::string>::iterator lru_it;
     };
     std::map<std::string, CachedResult> result_cache;
-    std::deque<std::string> result_cache_fifo;
+    std::list<std::string> result_cache_lru;  ///< front = most recent
+    int64_t result_cache_bytes = 0;
     mutable std::mutex cache_mu;
 
     // Hot-path metric handles, resolved once at CreateTable.
@@ -233,7 +274,9 @@ class OlapCluster {
   stream::MessageBus* bus_;
   storage::ObjectStore* store_;
   common::Executor* executor_;
+  OlapClusterOptions options_;
   common::FaultInjector* faults_ = nullptr;
+  std::unique_ptr<LifecycleManager> lifecycle_;
   mutable std::mutex mu_;  // table-map membership only
   std::map<std::string, std::shared_ptr<Table>> tables_;
   mutable MetricsRegistry metrics_;
@@ -247,6 +290,7 @@ class OlapCluster {
   Counter* segments_pruned_ = nullptr;
   Counter* result_cache_hits_ = nullptr;
   Counter* result_cache_misses_ = nullptr;
+  Gauge* result_cache_bytes_ = nullptr;
   std::unique_ptr<common::RetryPolicy> backup_retry_;
   std::unique_ptr<common::RetryPolicy> query_retry_;
 

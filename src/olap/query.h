@@ -119,6 +119,10 @@ struct OlapQueryStats {
   int64_t servers_failed = 0;    ///< sub-queries dropped (allow_partial only)
   int64_t exec_batches = 0;      ///< non-empty row batches the vectorized engine ran
   int64_t bitmap_words = 0;      ///< words touched by selection-bitmap kernels
+  int64_t segments_hot = 0;      ///< morsels served from fully decoded segments
+  int64_t segments_warm = 0;     ///< morsels served from packed (lazy) segments
+  int64_t segments_cold = 0;     ///< morsels that reloaded a segment from the store
+  int64_t columns_materialized = 0;  ///< lazy column decodes this query triggered
   bool from_cache = false;       ///< answered from the broker result cache
 };
 

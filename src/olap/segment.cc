@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <set>
 
 #include "common/hash.h"
@@ -403,8 +404,16 @@ Row Segment::GetRow(size_t row_index) const {
 }
 
 int64_t Segment::MemoryBytes() const {
+  // Lazy decode mutates columns_ under lazy_->mu; hold it across the walk
+  // so footprint accounting never races a first-touch materialization.
+  std::unique_lock<std::mutex> lock;
+  if (lazy_ != nullptr) lock = std::unique_lock<std::mutex>(lazy_->mu);
   int64_t bytes = 128;
   for (const Column& column : columns_) bytes += column.MemoryBytes();
+  for (const ZoneMap& zone : zones_) {
+    bytes += 16 + static_cast<int64_t>(zone.bloom.capacity() * sizeof(uint64_t)) +
+             ValueMemoryBytes(zone.min) + ValueMemoryBytes(zone.max);
+  }
   size_t num_metrics = star_metrics_.size();
   for (const auto& level : star_tree_) {
     for (const auto& [key, cell] : level) {
@@ -502,6 +511,83 @@ bool Segment::CanMatch(const FilterPredicate& pred) const {
       return !(hi < target);
   }
   return true;
+}
+
+// --- Detached prune info (warm/cold tiers) ----------------------------------
+
+bool SegmentPruneInfo::CanMatch(const FilterPredicate& pred) const {
+  const ColumnPrune* col = nullptr;
+  for (const ColumnPrune& c : columns_) {
+    if (c.name == pred.column) {
+      col = &c;
+      break;
+    }
+  }
+  if (col == nullptr) return true;  // unknown column: execution reports it
+  if (!col->any_rows) return false;
+  Value target = CoerceTo(col->type, pred.value);
+  const Value& lo = col->min;
+  const Value& hi = col->max;
+  switch (pred.op) {
+    case FilterPredicate::Op::kEq: {
+      if (target < lo || hi < target) return false;
+      // Bloom-only membership — no resident dictionary to back the "maybe"
+      // with an exact answer, so a false positive scans a segment the hot
+      // check would have pruned; never the reverse.
+      if (!col->bloom.empty()) {
+        uint64_t hash = BloomHash(target);
+        uint64_t h2 = (hash >> 32) | 1;
+        for (uint64_t probe = 0; probe < 2; ++probe) {
+          uint64_t bit = (hash + probe * h2) & col->bloom_mask;
+          if ((col->bloom[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+        }
+      }
+      return true;
+    }
+    case FilterPredicate::Op::kNe:
+      // min == max means every row holds exactly the one distinct value.
+      return !(!(lo < hi) && !(hi < lo) && !(lo < target) && !(target < lo));
+    case FilterPredicate::Op::kLt:
+      return lo < target;
+    case FilterPredicate::Op::kLe:
+      return !(target < lo);
+    case FilterPredicate::Op::kGt:
+      return target < hi;
+    case FilterPredicate::Op::kGe:
+      return !(hi < target);
+  }
+  return true;
+}
+
+int64_t SegmentPruneInfo::MemoryBytes() const {
+  int64_t bytes = 32;
+  for (const ColumnPrune& c : columns_) {
+    bytes += 64 + static_cast<int64_t>(c.name.size()) +
+             static_cast<int64_t>(c.bloom.capacity() * sizeof(uint64_t)) +
+             ValueMemoryBytes(c.min) + ValueMemoryBytes(c.max);
+  }
+  return bytes;
+}
+
+SegmentPruneInfo Segment::BuildPruneInfo() const {
+  std::vector<SegmentPruneInfo::ColumnPrune> cols;
+  cols.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    SegmentPruneInfo::ColumnPrune p;
+    p.name = schema_.fields()[c].name;
+    p.type = columns_[c].type;
+    p.any_rows = !columns_[c].dictionary.empty();
+    if (p.any_rows) {
+      p.min = columns_[c].dictionary.front();
+      p.max = columns_[c].dictionary.back();
+    }
+    if (c < zones_.size()) {
+      p.bloom = zones_[c].bloom;
+      p.bloom_mask = zones_[c].bloom_mask;
+    }
+    cols.push_back(std::move(p));
+  }
+  return SegmentPruneInfo(std::move(cols));
 }
 
 // --- Filtering -------------------------------------------------------------
@@ -765,6 +851,9 @@ bool Segment::TryStarTree(const OlapQuery& query, const std::vector<bool>* valid
 Result<OlapResult> Segment::Execute(const OlapQuery& query,
                                     const std::vector<bool>* validity,
                                     OlapQueryStats* stats) const {
+  if (lazy_ != nullptr) {
+    UBERRT_RETURN_IF_ERROR(EnsureForQuery(query, stats));
+  }
   ++stats->segments_scanned;
   if (query.force_scalar) return ExecuteScalar(query, validity, stats);
   if (!query.aggregations.empty()) {
@@ -885,6 +974,9 @@ Result<OlapResult> Segment::ExecuteScalar(const OlapQuery& query,
 // --- Serialization -----------------------------------------------------------
 
 std::string Segment::Serialize() const {
+  // A lazy segment's pinned blob IS its serialized form (bloom sections
+  // included), whatever subset of columns happens to be materialized.
+  if (lazy_ != nullptr) return lazy_->blob->substr(lazy_->base_offset);
   std::string out;
   AppendString(&out, name_);
   AppendU32(&out, static_cast<uint32_t>(schema_.NumFields()));
@@ -924,50 +1016,70 @@ std::string Segment::Serialize() const {
   return out;
 }
 
+namespace {
+
+/// Everything that precedes the per-column payload, shared by the eager and
+/// lazy decoders so the two can never drift on the header layout.
+struct SegmentHeaderInfo {
+  std::string name;
+  std::vector<FieldSpec> fields;
+  uint64_t num_rows = 0;
+  SegmentIndexConfig config;
+};
+
+Status ParseSegmentHeader(const std::string& blob, size_t* pos,
+                          SegmentHeaderInfo* out) {
+  auto corrupt = [] { return Status::Corruption("segment blob truncated"); };
+  if (!ReadString(blob, pos, &out->name)) return corrupt();
+  uint32_t num_fields;
+  if (!ReadU32(blob, pos, &num_fields)) return corrupt();
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    FieldSpec f;
+    if (!ReadString(blob, pos, &f.name)) return corrupt();
+    if (*pos >= blob.size()) return corrupt();
+    f.type = static_cast<ValueType>(blob[(*pos)++]);
+    out->fields.push_back(std::move(f));
+  }
+  if (!ReadU64(blob, pos, &out->num_rows)) return corrupt();
+  if (*pos >= blob.size()) return corrupt();
+  out->config.bit_packed_forward_index = blob[(*pos)++] != 0;
+  uint32_t n;
+  if (!ReadU32(blob, pos, &n)) return corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string c;
+    if (!ReadString(blob, pos, &c)) return corrupt();
+    out->config.inverted_columns.push_back(std::move(c));
+  }
+  if (!ReadString(blob, pos, &out->config.sorted_column)) return corrupt();
+  if (!ReadU32(blob, pos, &n)) return corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string c;
+    if (!ReadString(blob, pos, &c)) return corrupt();
+    out->config.star_tree_dimensions.push_back(std::move(c));
+  }
+  if (!ReadU32(blob, pos, &n)) return corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string c;
+    if (!ReadString(blob, pos, &c)) return corrupt();
+    out->config.star_tree_metrics.push_back(std::move(c));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
   auto corrupt = [] { return Status::Corruption("segment blob truncated"); };
   size_t pos = 0;
-  std::string name;
-  if (!ReadString(blob, &pos, &name)) return corrupt();
-  uint32_t num_fields;
-  if (!ReadU32(blob, &pos, &num_fields)) return corrupt();
-  std::vector<FieldSpec> fields;
-  for (uint32_t i = 0; i < num_fields; ++i) {
-    FieldSpec f;
-    if (!ReadString(blob, &pos, &f.name)) return corrupt();
-    if (pos >= blob.size()) return corrupt();
-    f.type = static_cast<ValueType>(blob[pos++]);
-    fields.push_back(std::move(f));
-  }
-  uint64_t num_rows;
-  if (!ReadU64(blob, &pos, &num_rows)) return corrupt();
-  SegmentIndexConfig config;
-  if (pos >= blob.size()) return corrupt();
-  config.bit_packed_forward_index = blob[pos++] != 0;
-  uint32_t n;
-  if (!ReadU32(blob, &pos, &n)) return corrupt();
-  for (uint32_t i = 0; i < n; ++i) {
-    std::string c;
-    if (!ReadString(blob, &pos, &c)) return corrupt();
-    config.inverted_columns.push_back(std::move(c));
-  }
-  if (!ReadString(blob, &pos, &config.sorted_column)) return corrupt();
-  if (!ReadU32(blob, &pos, &n)) return corrupt();
-  for (uint32_t i = 0; i < n; ++i) {
-    std::string c;
-    if (!ReadString(blob, &pos, &c)) return corrupt();
-    config.star_tree_dimensions.push_back(std::move(c));
-  }
-  if (!ReadU32(blob, &pos, &n)) return corrupt();
-  for (uint32_t i = 0; i < n; ++i) {
-    std::string c;
-    if (!ReadString(blob, &pos, &c)) return corrupt();
-    config.star_tree_metrics.push_back(std::move(c));
-  }
+  SegmentHeaderInfo header;
+  UBERRT_RETURN_IF_ERROR(ParseSegmentHeader(blob, &pos, &header));
+  const uint32_t num_fields = static_cast<uint32_t>(header.fields.size());
+  const uint64_t num_rows = header.num_rows;
+  const SegmentIndexConfig& config = header.config;
 
   auto segment = std::shared_ptr<Segment>(new Segment());
-  segment->name_ = std::move(name);
-  segment->schema_ = RowSchema(fields);
+  segment->name_ = std::move(header.name);
+  segment->schema_ = RowSchema(header.fields);
   segment->num_rows_ = num_rows;
   segment->config_ = config;
   segment->sorted_column_ = config.sorted_column.empty()
@@ -978,7 +1090,7 @@ Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
   std::vector<uint32_t> batch(kBatch);
   for (uint32_t c = 0; c < num_fields; ++c) {
     Column& column = segment->columns_[c];
-    column.type = fields[c].type;
+    column.type = header.fields[c].type;
     std::string dict_blob;
     if (!ReadString(blob, &pos, &dict_blob)) return corrupt();
     Result<Row> dict = DecodeRow(dict_blob);
@@ -1048,6 +1160,150 @@ Result<std::shared_ptr<Segment>> Segment::Deserialize(const std::string& blob) {
   return segment;
 }
 
-int64_t Segment::DiskBytes() const { return static_cast<int64_t>(Serialize().size()); }
+Result<std::shared_ptr<Segment>> Segment::DeserializeLazy(
+    std::shared_ptr<const std::string> blob, size_t offset) {
+  auto corrupt = [] { return Status::Corruption("segment blob truncated"); };
+  const std::string& data = *blob;
+  size_t pos = offset;
+  SegmentHeaderInfo header;
+  UBERRT_RETURN_IF_ERROR(ParseSegmentHeader(data, &pos, &header));
+  const size_t num_fields = header.fields.size();
+
+  auto segment = std::shared_ptr<Segment>(new Segment());
+  segment->name_ = std::move(header.name);
+  segment->schema_ = RowSchema(header.fields);
+  segment->num_rows_ = header.num_rows;
+  segment->config_ = header.config;
+  segment->sorted_column_ =
+      header.config.sorted_column.empty()
+          ? -1
+          : segment->schema_.FieldIndex(header.config.sorted_column);
+  segment->columns_.resize(num_fields);
+
+  auto lazy = std::make_unique<LazySource>();
+  lazy->blob = blob;
+  lazy->base_offset = offset;
+  lazy->columns.resize(num_fields);
+  lazy->decoded.assign(num_fields, false);
+  // One structural pass: record where each column's payload lives (so a
+  // truncated blob fails here, not mid-query) without decoding anything.
+  for (size_t c = 0; c < num_fields; ++c) {
+    segment->columns_[c].type = header.fields[c].type;
+    LazyColumn& lc = lazy->columns[c];
+    lc.dict_pos = pos;
+    uint32_t dict_len;
+    if (!ReadU32(data, &pos, &dict_len)) return corrupt();
+    if (dict_len > data.size() - pos) return corrupt();
+    pos += dict_len;
+    if (!header.config.bit_packed_forward_index) {
+      lc.plain_pos = pos;
+      if (header.num_rows > (data.size() - pos) / 4) return corrupt();
+      pos += static_cast<size_t>(header.num_rows) * 4;
+    } else {
+      if (!ReadU32(data, &pos, &lc.bits)) return corrupt();
+      if (!ReadU64(data, &pos, &lc.num_words)) return corrupt();
+      lc.words_pos = pos;
+      if (lc.num_words > (data.size() - pos) / 8) return corrupt();
+      pos += static_cast<size_t>(lc.num_words) * 8;
+    }
+  }
+  // The trailing bloom sections are deliberately not parsed: a lazy segment
+  // carries no zone maps (CanMatch degrades to conservative-true); the
+  // detached SegmentPruneInfo on its handle does the real plan-time pruning.
+  segment->lazy_ = std::move(lazy);
+  return segment;
+}
+
+Status Segment::EnsureColumnIndexes(const std::vector<int>& indexes,
+                                    OlapQueryStats* stats) const {
+  if (lazy_ == nullptr) return Status::Ok();
+  auto corrupt = [] { return Status::Corruption("segment blob truncated"); };
+  const std::string& data = *lazy_->blob;
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  constexpr size_t kBatch = 1024;
+  std::vector<uint32_t> batch;
+  for (int idx : indexes) {
+    if (idx < 0 || static_cast<size_t>(idx) >= columns_.size()) continue;
+    const size_t c = static_cast<size_t>(idx);
+    if (lazy_->decoded[c]) continue;
+    Column& column = columns_[c];
+    const LazyColumn& lc = lazy_->columns[c];
+    size_t pos = lc.dict_pos;
+    std::string dict_blob;
+    if (!ReadString(data, &pos, &dict_blob)) return corrupt();
+    Result<Row> dict = DecodeRow(dict_blob);
+    if (!dict.ok()) return dict.status();
+    column.dictionary = std::move(dict.value());
+    const uint32_t dict_size = static_cast<uint32_t>(column.dictionary.size());
+    if (!config_.bit_packed_forward_index) {
+      pos = lc.plain_pos;
+      column.plain.resize(num_rows_);
+      for (size_t r = 0; r < num_rows_; ++r) {
+        if (!ReadU32(data, &pos, &column.plain[r])) return corrupt();
+        if (column.plain[r] >= dict_size) {
+          return Status::Corruption("segment blob: dict id out of range");
+        }
+      }
+    } else {
+      pos = lc.words_pos;
+      std::vector<uint64_t> words(static_cast<size_t>(lc.num_words));
+      for (uint64_t w = 0; w < lc.num_words; ++w) {
+        if (!ReadU64(data, &pos, &words[w])) return corrupt();
+      }
+      Result<BitPackedVector> packed = BitPackedVector::FromWords(
+          static_cast<int>(lc.bits), num_rows_, std::move(words));
+      if (!packed.ok()) return packed.status();
+      column.packed = std::move(packed.value());
+      // Same hostile-id validation as the eager decoder.
+      if (batch.empty()) batch.resize(std::min(kBatch, std::max<size_t>(num_rows_, 1)));
+      for (size_t base = 0; base < num_rows_; base += kBatch) {
+        size_t count = std::min(kBatch, num_rows_ - base);
+        column.packed.Unpack(base, count, batch.data());
+        for (size_t i = 0; i < count; ++i) {
+          if (batch[i] >= dict_size) {
+            return Status::Corruption("segment blob: dict id out of range");
+          }
+        }
+      }
+    }
+    column.dict_numeric.resize(column.dictionary.size());
+    for (size_t i = 0; i < column.dictionary.size(); ++i) {
+      column.dict_numeric[i] = column.dictionary[i].ToNumeric();
+    }
+    lazy_->decoded[c] = true;
+    if (stats != nullptr) ++stats->columns_materialized;
+  }
+  return Status::Ok();
+}
+
+Status Segment::EnsureForQuery(const OlapQuery& query,
+                               OlapQueryStats* stats) const {
+  if (lazy_ == nullptr) return Status::Ok();
+  std::vector<int> indexes;
+  auto add = [&](const std::string& name) {
+    if (name.empty()) return;
+    int idx = ColumnIndex(name);
+    if (idx >= 0) indexes.push_back(idx);  // unknown: Execute reports it
+  };
+  for (const FilterPredicate& pred : query.filters) add(pred.column);
+  for (const std::string& g : query.group_by) add(g);
+  for (const OlapAggregation& agg : query.aggregations) add(agg.column);
+  for (const std::string& s : query.select_columns) add(s);
+  return EnsureColumnIndexes(indexes, stats);
+}
+
+Status Segment::EnsureAllColumns() const {
+  if (lazy_ == nullptr) return Status::Ok();
+  std::vector<int> all(columns_.size());
+  for (size_t c = 0; c < all.size(); ++c) all[c] = static_cast<int>(c);
+  return EnsureColumnIndexes(all, nullptr);
+}
+
+int64_t Segment::DiskBytes() const {
+  if (lazy_ != nullptr) {
+    return static_cast<int64_t>(lazy_->blob->size() - lazy_->base_offset);
+  }
+  return static_cast<int64_t>(Serialize().size());
+}
 
 }  // namespace uberrt::olap

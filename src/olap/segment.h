@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,9 +66,49 @@ struct SegmentIndexConfig {
   bool bit_packed_forward_index = true;
 };
 
+/// Always-resident pruning metadata for a segment whose columns may not be
+/// decoded (warm tier) or not in memory at all (cold tier): per-column
+/// min/max plus the bloom membership words, detached from the segment so
+/// `PlanMorsels` prunes demoted segments without materializing them. Built
+/// once at seal from the hot segment's zone maps. Strictly conservative
+/// relative to Segment::CanMatch: equality has no exact dictionary
+/// backstop, so a bloom false positive scans a segment the hot check would
+/// have skipped — never the reverse.
+class SegmentPruneInfo {
+ public:
+  struct ColumnPrune {
+    std::string name;
+    ValueType type = ValueType::kNull;
+    bool any_rows = false;
+    Value min;
+    Value max;
+    std::vector<uint64_t> bloom;  ///< empty = no bloom (low cardinality)
+    uint64_t bloom_mask = 0;
+  };
+
+  SegmentPruneInfo() = default;
+  explicit SegmentPruneInfo(std::vector<ColumnPrune> columns)
+      : columns_(std::move(columns)) {}
+
+  /// False means no row can satisfy `pred` (safe to skip the segment).
+  bool CanMatch(const FilterPredicate& pred) const;
+
+  int64_t MemoryBytes() const;
+  bool empty() const { return columns_.empty(); }
+
+ private:
+  std::vector<ColumnPrune> columns_;
+};
+
 /// Immutable columnar segment: dictionary-encoded columns with a bit-packed
 /// forward index and the optional indexes above. Built once from rows,
 /// then served concurrently (read-only).
+///
+/// A segment can also be opened *lazily* over a serialized blob
+/// (DeserializeLazy): only the header is parsed up front and each column's
+/// dictionary + forward index decode on first touch, synchronized by an
+/// internal mutex (decode is monotone — a column never un-decodes, so
+/// readers that Ensure'd their columns proceed lock-free afterwards).
 class Segment {
  public:
   /// Builds a segment; rows are reordered if a sorted column is configured.
@@ -115,6 +156,23 @@ class Segment {
   /// filters); inverted/star-tree indexes are rebuilt on load.
   std::string Serialize() const;
   static Result<std::shared_ptr<Segment>> Deserialize(const std::string& blob);
+
+  /// Warm-tier open: parses only the header at `offset` and defers each
+  /// column's dictionary + forward index to first touch. The blob stays
+  /// pinned (shared) for the segment's lifetime. Lazy segments carry no
+  /// inverted/star-tree indexes and no zone maps — plan-time pruning for
+  /// them lives in the detached SegmentPruneInfo.
+  static Result<std::shared_ptr<Segment>> DeserializeLazy(
+      std::shared_ptr<const std::string> blob, size_t offset);
+
+  /// Decodes every still-lazy column (recovery replay, compaction, full
+  /// promotion). No-op on eager segments.
+  Status EnsureAllColumns() const;
+  bool IsLazy() const { return lazy_ != nullptr; }
+
+  /// Detached pruning metadata (see SegmentPruneInfo). Requires decoded
+  /// zone maps, i.e. an eagerly built/deserialized segment.
+  SegmentPruneInfo BuildPruneInfo() const;
 
   /// Serialized size without serializing (for footprint accounting).
   int64_t DiskBytes() const;
@@ -167,6 +225,33 @@ class Segment {
     int64_t count = 0;
   };
 
+  /// Deferred decode state for DeserializeLazy. `decoded[c]` flips true
+  /// exactly once, under `mu`; the mutex acquisition in Ensure* gives
+  /// readers their happens-before edge to the decoded column data.
+  struct LazyColumn {
+    size_t dict_pos = 0;   ///< start of the length-prefixed dictionary row
+    uint32_t bits = 0;     ///< packed forward index width (packing on)
+    uint64_t num_words = 0;
+    size_t words_pos = 0;  ///< packed words (packing on)
+    size_t plain_pos = 0;  ///< plain u32 ids (packing off)
+  };
+  struct LazySource {
+    std::shared_ptr<const std::string> blob;
+    size_t base_offset = 0;  ///< segment blob = [base_offset, blob->size())
+    std::vector<LazyColumn> columns;
+    std::mutex mu;
+    std::vector<bool> decoded;  // guarded by mu
+  };
+
+  /// Decodes the given columns if still lazy; counts each actual decode
+  /// into `stats->columns_materialized` (stats may be null).
+  Status EnsureColumnIndexes(const std::vector<int>& indexes,
+                             OlapQueryStats* stats) const;
+  /// Ensure for every column the query names (filters, group-by,
+  /// aggregates, selects). Unknown names are skipped so execution reports
+  /// the same InvalidArgument an eager segment would.
+  Status EnsureForQuery(const OlapQuery& query, OlapQueryStats* stats) const;
+
   void BuildIndexes(const SegmentIndexConfig& config);
   /// Fills each column's dict_numeric table (after dictionaries exist).
   void BuildNumericDictionaries();
@@ -204,10 +289,14 @@ class Segment {
   std::string name_;
   RowSchema schema_;
   size_t num_rows_ = 0;
-  std::vector<Column> columns_;
-  std::vector<ZoneMap> zones_;  ///< parallel to columns_
+  /// Mutable only through the monotone lazy decode (Ensure*); immutable
+  /// once decoded and always immutable for eager segments.
+  mutable std::vector<Column> columns_;
+  std::vector<ZoneMap> zones_;  ///< parallel to columns_; empty when lazy
   SegmentIndexConfig config_;
   int sorted_column_ = -1;
+  /// Set iff opened via DeserializeLazy; never reset once set.
+  mutable std::unique_ptr<LazySource> lazy_;
 
   // Star-tree: per prefix length k (1..dims), map from encoded id-tuple to
   // cell; prefix 0 stored as the single `star_root_`.

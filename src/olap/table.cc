@@ -29,8 +29,9 @@ bool EvalPredicate(const FilterPredicate& pred, const Value& v) {
   return false;
 }
 
-RealtimePartition::RealtimePartition(const TableConfig& config, int32_t partition_id)
-    : config_(config), partition_id_(partition_id) {
+RealtimePartition::RealtimePartition(const TableConfig& config, int32_t partition_id,
+                                     LifecycleManager* lifecycle)
+    : config_(config), partition_id_(partition_id), lifecycle_(lifecycle) {
   if (config_.upsert_enabled) {
     primary_key_index_ = config_.schema.FieldIndex(config_.primary_key_column);
   }
@@ -54,9 +55,11 @@ Status RealtimePartition::Ingest(Row row) {
       if (it->second.segment_index < 0) {
         buffer_validity_[it->second.row_index] = false;
       } else {
-        // Shared with peer replicas: the invalidation reaches every copy.
-        (*sealed_[static_cast<size_t>(it->second.segment_index)].validity)
-            [it->second.row_index] = false;
+        // Through the handle: the bit flip is synchronized against a
+        // concurrent demotion snapshotting the same bits, and — because
+        // the vector is shared with peer replicas — reaches every copy.
+        sealed_[static_cast<size_t>(it->second.segment_index)]
+            .handle->InvalidateRow(it->second.row_index);
       }
     }
     upsert_locations_[key] = {-1, static_cast<uint32_t>(buffer_.size())};
@@ -78,28 +81,44 @@ Result<std::shared_ptr<Segment>> RealtimePartition::SealIfNeeded(bool force) {
     // Row order must stay stable so upsert locations remain valid.
     index_config.sorted_column.clear();
   }
+  bool deferred = false;
+  if (config_.deferred_index_build) {
+    // Seal fast: dictionaries, packing and zone maps only. The expensive
+    // inverted and star-tree builds move to the background compaction pass.
+    deferred = !index_config.inverted_columns.empty() ||
+               !index_config.star_tree_dimensions.empty();
+    index_config.inverted_columns.clear();
+    index_config.star_tree_dimensions.clear();
+    index_config.star_tree_metrics.clear();
+  }
   Result<std::shared_ptr<Segment>> built =
       Segment::Build(segment_name, config_.schema, buffer_, index_config);
   if (!built.ok()) return built.status();
 
-  SealedSegment sealed;
-  sealed.segment = built.value();
-  sealed.seq = next_segment_seq_ - 1;
+  std::shared_ptr<std::vector<bool>> validity;
   if (config_.upsert_enabled) {
-    sealed.validity = std::make_shared<std::vector<bool>>(buffer_validity_);
+    validity = std::make_shared<std::vector<bool>>(buffer_validity_);
   }
+  TimestampMs min_time = INT64_MIN, max_time = INT64_MAX;
   if (time_index_ >= 0) {
-    sealed.min_time = INT64_MAX;
-    sealed.max_time = INT64_MIN;
+    min_time = INT64_MAX;
+    max_time = INT64_MIN;
     for (const Row& row : buffer_) {
       TimestampMs t = static_cast<TimestampMs>(
           row[static_cast<size_t>(time_index_)].ToNumeric());
-      sealed.min_time = std::min(sealed.min_time, t);
-      sealed.max_time = std::max(sealed.max_time, t);
+      min_time = std::min(min_time, t);
+      max_time = std::max(max_time, t);
     }
   }
+  SealedSegment sealed;
+  sealed.handle = SegmentHandle::Create(
+      built.value(), next_segment_seq_ - 1, min_time, max_time, validity,
+      "segments/" + config_.name + "/" + segment_name, lifecycle_);
+  sealed.handle->SetNeedsCompaction(deferred);
+  sealed.validity = std::move(validity);
   int32_t segment_index = static_cast<int32_t>(sealed_.size());
   sealed_.push_back(std::move(sealed));
+  sealed_names_.insert(segment_name);
 
   // Remap buffered upsert locations into the sealed segment.
   if (config_.upsert_enabled) {
@@ -114,7 +133,7 @@ Result<std::shared_ptr<Segment>> RealtimePartition::SealIfNeeded(bool force) {
 
 int64_t RealtimePartition::NumRows() const {
   int64_t rows = static_cast<int64_t>(buffer_.size());
-  for (const SealedSegment& s : sealed_) rows += s.segment->NumRows();
+  for (const SealedSegment& s : sealed_) rows += s.handle->num_rows();
   return rows;
 }
 
@@ -127,7 +146,7 @@ int64_t RealtimePartition::MemoryBytes() const {
       if (v.type() == ValueType::kString) bytes += static_cast<int64_t>(v.AsString().size());
     }
   }
-  for (const SealedSegment& s : sealed_) bytes += s.segment->MemoryBytes();
+  for (const SealedSegment& s : sealed_) bytes += s.handle->ResidentBytes();
   return bytes;
 }
 
@@ -244,14 +263,16 @@ void RealtimePartition::PlanMorsels(const OlapQuery& query,
   }
 
   for (size_t i = 0; i < sealed_.size(); ++i) {
-    const SealedSegment& sealed = sealed_[i];
-    if (sealed.max_time < query_min || sealed.min_time > query_max) {
+    const SegmentHandle& handle = *sealed_[i].handle;
+    if (handle.max_time() < query_min || handle.min_time() > query_max) {
       ++stats->segments_pruned;
       continue;
     }
     bool can_match = true;
     for (const FilterPredicate& pred : query.filters) {
-      if (!sealed.segment->CanMatch(pred)) {
+      // Never materializes: warm/cold handles answer from resident prune
+      // info.
+      if (!handle.CanMatch(pred)) {
         can_match = false;
         break;
       }
@@ -273,7 +294,15 @@ Result<OlapResult> RealtimePartition::ExecuteMorsel(const OlapQuery& query,
                                                     OlapQueryStats* stats) const {
   if (morsel < 0) return ExecuteOnBuffer(query, stats);
   const SealedSegment& sealed = sealed_[static_cast<size_t>(morsel)];
-  return sealed.segment->Execute(query, sealed.validity.get(), stats);
+  SegmentTier observed = SegmentTier::kHot;
+  Result<std::shared_ptr<Segment>> segment = sealed.handle->Acquire(&observed);
+  if (!segment.ok()) return segment.status();
+  switch (observed) {
+    case SegmentTier::kHot: ++stats->segments_hot; break;
+    case SegmentTier::kWarm: ++stats->segments_warm; break;
+    case SegmentTier::kCold: ++stats->segments_cold; break;
+  }
+  return segment.value()->Execute(query, sealed.validity.get(), stats);
 }
 
 Result<OlapResult> RealtimePartition::Execute(const OlapQuery& query,
@@ -291,6 +320,7 @@ Result<OlapResult> RealtimePartition::Execute(const OlapQuery& query,
 
 void RealtimePartition::DropSealedSegments() {
   sealed_.clear();
+  sealed_names_.clear();
   // Stale sealed locations must go with the segments: a later Ingest of the
   // same key would otherwise write validity through an out-of-range index.
   // Buffer locations stay live (the consuming buffer survives a kill).
@@ -303,30 +333,38 @@ void RealtimePartition::DropSealedSegments() {
   }
 }
 
-bool RealtimePartition::HasSegment(const std::string& name) const {
-  for (const SealedSegment& s : sealed_) {
-    if (s.segment->name() == name) return true;
-  }
-  return false;
+void RealtimePartition::RestoreSegment(SealedSegment segment) {
+  sealed_names_.insert(segment.handle->name());
+  sealed_.push_back(std::move(segment));
 }
 
-void RealtimePartition::FinishRestore() {
+bool RealtimePartition::HasSegment(const std::string& name) const {
+  return sealed_names_.count(name) > 0;
+}
+
+Status RealtimePartition::FinishRestore() {
   std::stable_sort(sealed_.begin(), sealed_.end(),
                    [](const SealedSegment& a, const SealedSegment& b) {
-                     return a.seq < b.seq;
+                     return a.handle->seq() < b.handle->seq();
                    });
-  if (config_.upsert_enabled) RebuildUpsertState();
+  if (config_.upsert_enabled) return RebuildUpsertState();
+  return Status::Ok();
 }
 
-void RealtimePartition::RebuildUpsertState() {
-  if (primary_key_index_ < 0) return;
+Status RealtimePartition::RebuildUpsertState() {
+  if (primary_key_index_ < 0) return Status::Ok();
   upsert_locations_.clear();
-  for (SealedSegment& s : sealed_) {
-    // Fresh all-valid vectors: archived snapshots are stale the moment a
-    // later row superseded one of their keys, so validity is derived from
-    // the replay below, never trusted from a restore source.
-    s.validity =
-        std::make_shared<std::vector<bool>>(s.segment->NumRows(), true);
+  // Fresh all-valid vectors, built locally and published only at the end:
+  // archived snapshots are stale the moment a later row superseded one of
+  // their keys, so validity is derived from the replay below, never trusted
+  // from a restore source.
+  std::vector<std::shared_ptr<Segment>> segments(sealed_.size());
+  for (size_t si = 0; si < sealed_.size(); ++si) {
+    Result<std::shared_ptr<Segment>> segment = sealed_[si].handle->AcquireFull();
+    if (!segment.ok()) return segment.status();
+    segments[si] = segment.value();
+    sealed_[si].validity =
+        std::make_shared<std::vector<bool>>(segments[si]->NumRows(), true);
   }
   buffer_validity_.assign(buffer_.size(), true);
   auto claim = [&](const std::string& key, int32_t segment_index,
@@ -344,7 +382,7 @@ void RealtimePartition::RebuildUpsertState() {
   };
   // Seal order then buffer = ingest order: the last claim per key wins.
   for (size_t si = 0; si < sealed_.size(); ++si) {
-    const Segment& segment = *sealed_[si].segment;
+    const Segment& segment = *segments[si];
     for (int64_t r = 0; r < segment.NumRows(); ++r) {
       claim(segment.GetValue(static_cast<size_t>(r), primary_key_index_).ToString(),
             static_cast<int32_t>(si), static_cast<uint32_t>(r));
@@ -354,6 +392,23 @@ void RealtimePartition::RebuildUpsertState() {
     claim(buffer_[r][static_cast<size_t>(primary_key_index_)].ToString(), -1,
           static_cast<uint32_t>(r));
   }
+  // Publish the rebuilt vectors through the handles so later demotions
+  // archive the live bits (and peer replicas see them).
+  for (SealedSegment& s : sealed_) s.handle->SetValidity(s.validity);
+  return Status::Ok();
+}
+
+void RealtimePartition::ClaimPendingCompactions(
+    std::vector<std::shared_ptr<SegmentHandle>>* out) const {
+  for (const SealedSegment& s : sealed_) {
+    if (s.handle->ClaimCompaction()) out->push_back(s.handle);
+  }
+}
+
+SegmentIndexConfig RealtimePartition::CompactionIndexConfig() const {
+  SegmentIndexConfig index_config = config_.index_config;
+  if (config_.upsert_enabled) index_config.sorted_column.clear();
+  return index_config;
 }
 
 }  // namespace uberrt::olap

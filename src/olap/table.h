@@ -5,10 +5,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
+#include "olap/lifecycle.h"
 #include "olap/query.h"
 #include "olap/segment.h"
 
@@ -28,6 +30,10 @@ struct TableConfig {
   /// disables the sorted column (row order must stay stable).
   bool upsert_enabled = false;
   std::string primary_key_column;
+  /// Seal with only the cheap per-column structures (dictionaries, packing,
+  /// zone maps); inverted and star-tree indexes are built later by the
+  /// background compaction pass, off the write path.
+  bool deferred_index_build = false;
 };
 
 /// All data of one stream partition of a table, hosted by exactly one
@@ -36,7 +42,10 @@ struct TableConfig {
 /// every record of a key lands here, so key -> location tracking is local.
 class RealtimePartition {
  public:
-  RealtimePartition(const TableConfig& config, int32_t partition_id);
+  /// `lifecycle` may be null (standalone use): sealed segments then get
+  /// unmanaged handles that stay hot forever.
+  RealtimePartition(const TableConfig& config, int32_t partition_id,
+                    LifecycleManager* lifecycle = nullptr);
 
   /// Appends one row to the consuming segment; with upsert enabled,
   /// invalidates the key's previous location.
@@ -59,11 +68,14 @@ class RealtimePartition {
   /// for the consuming buffer (always planned, so errors like unknown
   /// columns surface identically with or without pruning). Appends segment
   /// indexes (>= 0) then -1 for the buffer; pruned segments are counted in
-  /// stats->segments_pruned.
+  /// stats->segments_pruned. Pruning never materializes a warm/cold
+  /// segment: demoted segments answer from their resident SegmentPruneInfo.
   void PlanMorsels(const OlapQuery& query, std::vector<int32_t>* morsels,
                    OlapQueryStats* stats) const;
 
-  /// Executes one planned morsel (-1 = consuming buffer).
+  /// Executes one planned morsel (-1 = consuming buffer). A warm or cold
+  /// sealed segment is transparently (re)materialized via its handle; the
+  /// tier served is counted in stats->segments_{hot,warm,cold}.
   Result<OlapResult> ExecuteMorsel(const OlapQuery& query, int32_t morsel,
                                    OlapQueryStats* stats) const;
 
@@ -72,22 +84,21 @@ class RealtimePartition {
   int64_t BufferedRows() const { return static_cast<int64_t>(buffer_.size()); }
   int64_t segment_rows_threshold() const { return config_.segment_rows_threshold; }
   int64_t NumSealedSegments() const { return static_cast<int64_t>(sealed_.size()); }
+  /// Resident (process-memory) bytes: consuming buffer + the current
+  /// representation of each sealed segment (a cold segment costs only its
+  /// prune info).
   int64_t MemoryBytes() const;
   int32_t partition_id() const { return partition_id_; }
 
   /// Sealed segments with their validity vectors (for replication and
-  /// recovery). `validity` is shared (not copied) with peer replicas so an
-  /// upsert invalidation that lands after replication is visible to every
-  /// holder of the segment.
+  /// recovery). `handle` is shared (not copied) with peer replicas so an
+  /// upsert invalidation, demotion or compaction swap that lands after
+  /// replication is visible to every holder of the segment. `validity` is
+  /// the same shared vector the handle carries (null = all rows valid).
   struct SealedSegment {
-    std::shared_ptr<Segment> segment;
+    std::shared_ptr<SegmentHandle> handle;
     /// Upsert tables only; null = all rows valid.
     std::shared_ptr<std::vector<bool>> validity;
-    TimestampMs min_time = INT64_MIN;
-    TimestampMs max_time = INT64_MAX;
-    /// Seal sequence within the partition: recovery re-sorts restored
-    /// segments by it so row order (and upsert replay order) is stable.
-    int64_t seq = -1;
   };
   const std::vector<SealedSegment>& sealed() const { return sealed_; }
 
@@ -96,7 +107,7 @@ class RealtimePartition {
   /// locations pointing into the dropped segments are erased — a later
   /// Ingest for such a key must not write through a stale index.
   void DropSealedSegments();
-  void RestoreSegment(SealedSegment segment) { sealed_.push_back(std::move(segment)); }
+  void RestoreSegment(SealedSegment segment);
   bool HasSegment(const std::string& name) const;
 
   /// Call after a batch of RestoreSegment calls: re-sorts sealed segments
@@ -105,7 +116,16 @@ class RealtimePartition {
   /// followed by the consuming buffer. Archived validity snapshots may be
   /// stale; the replay recomputes the truth from row contents (the stream
   /// is partitioned by primary key, so every version of a key is local).
-  void FinishRestore();
+  /// Fails if a restored segment cannot be materialized for the replay.
+  Status FinishRestore();
+
+  /// Background-compaction handshake: claims (at most once each) the sealed
+  /// segments flagged for a deferred index build and appends their handles.
+  void ClaimPendingCompactions(
+      std::vector<std::shared_ptr<SegmentHandle>>* out) const;
+  /// The full index configuration a compaction rebuild should use (sorted
+  /// column cleared for upsert tables — row order must stay stable).
+  SegmentIndexConfig CompactionIndexConfig() const;
 
  private:
   struct UpsertLocation {
@@ -116,16 +136,20 @@ class RealtimePartition {
   Result<OlapResult> ExecuteOnBuffer(const OlapQuery& query,
                                      OlapQueryStats* stats) const;
   /// Recomputes upsert_locations_ + validity from current contents.
-  void RebuildUpsertState();
+  Status RebuildUpsertState();
 
   TableConfig config_;
   int32_t partition_id_;
+  LifecycleManager* lifecycle_ = nullptr;
   int primary_key_index_ = -1;
   int time_index_ = -1;
 
   std::vector<Row> buffer_;
   std::vector<bool> buffer_validity_;
   std::vector<SealedSegment> sealed_;
+  /// Names of the sealed segments, for O(1) HasSegment (recovery checks it
+  /// once per replica per restored segment).
+  std::unordered_set<std::string> sealed_names_;
   std::map<std::string, UpsertLocation> upsert_locations_;
   int64_t next_segment_seq_ = 0;
 };

@@ -363,5 +363,98 @@ TEST(ChaosSoakTest, AutoFailoverReplaysBoundedWindowWithZeroLoss) {
   EXPECT_GT(faults.metrics()->GetCounter("faults.injected")->value(), 0);
 }
 
+// --- Scenario E: segment tiers -------------------------------------------
+// A tight memory budget keeps most segments cold, so queries continuously
+// reload frames from a store whose get/put paths flap the whole time.
+// Invariant: no query that returns Ok ever returns a wrong count, and no
+// segment is lost — a failed eviction leaves the segment warm, a failed
+// reload fails the query, never silently drops rows.
+TEST(ChaosSoakTest, TieredQueriesStayExactWhileStoreFlapsDuringColdReloads) {
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  FaultInjector faults(seed + 4);
+  stream::Broker broker("c1");
+  storage::InMemoryObjectStore store;
+  store.SetFaultInjector(&faults);
+  olap::OlapClusterOptions cluster_options;
+  cluster_options.memory_budget_bytes = 1;  // everything demotes to cold
+  olap::OlapCluster cluster(&broker, &store, nullptr, cluster_options);
+
+  stream::TopicConfig config;
+  config.num_partitions = 4;
+  ASSERT_TRUE(broker.CreateTopic("rides", config).ok());
+  olap::TableConfig table;
+  table.name = "rides_t";
+  table.schema = RowSchema({{"ride_id", ValueType::kInt},
+                            {"city", ValueType::kString},
+                            {"fare", ValueType::kDouble},
+                            {"ts", ValueType::kInt}});
+  table.time_column = "ts";
+  table.segment_rows_threshold = 25;
+  ASSERT_TRUE(cluster.CreateTable(table, "rides").ok());
+
+  FaultRule flaky_get;
+  flaky_get.error_probability = 0.3;
+  faults.SetRule("store.get", flaky_get);
+  FaultRule flaky_put;
+  flaky_put.error_probability = 0.3;
+  faults.SetRule("store.put", flaky_put);
+
+  auto exact_count = [&]() -> int64_t {
+    olap::OlapQuery query;
+    query.aggregations = {olap::OlapAggregation::Count("n")};
+    // A cold reload that exhausts its retry budget fails the query loudly;
+    // a bounded outer loop absorbs those, and every Ok answer must be exact.
+    for (int tries = 0; tries < 50; ++tries) {
+      Result<olap::OlapResult> result = cluster.Query("rides_t", query);
+      if (result.ok()) return result.value().rows[0][0].AsInt();
+    }
+    return -1;
+  };
+
+  int64_t produced = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      stream::Message m;
+      m.key = "k" + std::to_string(i % 4);
+      m.value = EncodeRow({Value(produced), Value(std::string("sf")),
+                           Value(10.0 + i), Value(int64_t{1000})});
+      m.timestamp = 1000;
+      ASSERT_TRUE(broker.Produce("rides", std::move(m)).ok());
+      ++produced;
+    }
+    // Ingest/seal triggers budget enforcement under put faults: evictions
+    // that fail leave segments warm (retried next pass), never dropped.
+    ASSERT_TRUE(cluster.IngestAll("rides_t").ok());
+    ASSERT_TRUE(cluster.ForceSeal("rides_t").ok());
+    ASSERT_EQ(exact_count(), produced) << "round " << round;
+    // Each query promoted cold segments; enforcement demotes them again so
+    // the next round reloads through the flapping store once more.
+    cluster.EnforceMemoryBudget();
+    ASSERT_EQ(exact_count(), produced) << "round " << round << " re-cooled";
+  }
+
+  // Tiering activity under faults was real and observable.
+  EXPECT_GT(cluster.metrics()->GetCounter("olap.tier.demotions")->value(), 0);
+  EXPECT_GT(cluster.metrics()->GetCounter("olap.tier.promotions")->value(), 0);
+  EXPECT_GT(faults.metrics()->GetCounter("faults.injected")->value(), 0);
+  EXPECT_GT(cluster.metrics()
+                ->GetCounter("retries.olap.tier.attempts")
+                ->value(),
+            0);
+
+  // Store heals: everything demotes cleanly, counts stay exact, and a
+  // killed server rebuilds from the (now stable) cold tier with zero loss.
+  faults.ClearRule("store.get");
+  faults.ClearRule("store.put");
+  cluster.EnforceMemoryBudget();
+  ASSERT_EQ(exact_count(), produced);
+  ASSERT_TRUE(cluster.KillServer("rides_t", 0).ok());
+  Result<olap::RecoveryReport> report = cluster.RecoverServer("rides_t", 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().segments_lost, 0);
+  ASSERT_EQ(exact_count(), produced);
+}
+
 }  // namespace
 }  // namespace uberrt

@@ -334,6 +334,29 @@ TEST(SegmentTest, BitPackingShrinksFootprintVsPlain) {
   EXPECT_LT(small->MemoryBytes(), big->MemoryBytes());
 }
 
+TEST(SegmentTest, MemoryBytesCountsZoneMapsAndMembershipFilters) {
+  // A/B across the bloom cardinality threshold: 64 distinct restaurant ids
+  // builds that column's membership filter (kBloomMinCardinality), 63 does
+  // not. Everything else about the two segments is identical, so the
+  // footprint delta must include the filter's bit array (64 values at
+  // 8 bits/value = 64 bytes of words) — the budget the lifecycle manager
+  // enforces has to see index memory, not just forward indexes.
+  auto with_bloom = BuildOrDie(MakeOrders(128, 64), {});
+  auto without_bloom = BuildOrDie(MakeOrders(128, 63), {});
+  EXPECT_GE(with_bloom->MemoryBytes() - without_bloom->MemoryBytes(), 64);
+
+  // The accounting survives a serialize/deserialize round trip: the
+  // reloaded segments carry the same filters, so the same delta holds.
+  auto reload = [](const Segment& s) {
+    Result<std::shared_ptr<Segment>> restored = Segment::Deserialize(s.Serialize());
+    EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+    return restored.value();
+  };
+  EXPECT_GE(reload(*with_bloom)->MemoryBytes() -
+                reload(*without_bloom)->MemoryBytes(),
+            64);
+}
+
 TEST(SegmentTest, EmptySegmentHandled) {
   auto segment = BuildOrDie({}, {});
   OlapQuery query;
