@@ -23,25 +23,35 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test|olap_morsel_parity_test|olap_upsert_recovery_test|olap_tiering_test"
+CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test|olap_morsel_parity_test|olap_upsert_recovery_test|olap_tiering_test|allactive_drill_test"
 for SAN in address thread; do
   echo "== sanitizer gate: ${SAN} =="
   cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
   cmake --build "build-${SAN}" -j --target \
     common_executor_test stream_log_test stream_broker_concurrency_test \
     olap_cluster_concurrency_test chaos_soak_test olap_vectorized_parity_test \
-    olap_morsel_parity_test olap_upsert_recovery_test olap_tiering_test
+    olap_morsel_parity_test olap_upsert_recovery_test olap_tiering_test \
+    allactive_drill_test
   ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
 done
 
 # Chaos gate: the end-to-end soak must hold its invariants (no acked message
-# lost, exact counts across crash/restart, zero-loss failover) for multiple
-# seeds under TSan, not just the default.
+# lost, exact counts across crash/restart, zero-loss failover, sheds only at
+# declared priorities during drills) for multiple seeds under TSan, not just
+# the default.
 for SEED in 7 1337; do
   echo "== chaos gate: thread sanitizer, seed ${SEED} =="
   UBERRT_CHAOS_SEED="${SEED}" \
     ctest --test-dir build-thread --output-on-failure -R '^chaos_soak_test$'
 done
+
+# Failover drill gate (TSan): planned + unplanned drills under live traffic
+# record MTTR / bounded replay / per-priority sheds / SLA violations into
+# BENCH_drills.json; the suite fails if any critical traffic is shed or any
+# acked message is lost while best-effort shedding is active.
+echo "== failover drill gate: thread sanitizer =="
+ctest --test-dir build-thread --output-on-failure -R '^allactive_drill_test$'
+cp build-thread/tests/BENCH_drills.json .
 
 # Perf smoke: the vectorized engine must not regress below the scalar
 # row-at-a-time oracle on the bench_c5 filtered group-by (Release build).

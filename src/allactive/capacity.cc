@@ -1,0 +1,137 @@
+#include "allactive/capacity.h"
+
+#include <cstdlib>
+
+namespace uberrt::allactive {
+
+RegionCapacity::RegionCapacity(std::string region, CapacityOptions options,
+                               Clock* clock, MetricsRegistry* metrics)
+    : region_(std::move(region)),
+      options_(options),
+      clock_(clock),
+      metrics_(metrics != nullptr ? metrics : &owned_metrics_),
+      window_start_(clock->NowMs()) {
+  for (int32_t p = 0; p < stream::kNumPriorities; ++p) {
+    const char* name = stream::PriorityName(static_cast<Priority>(p));
+    shed_counters_[p] = metrics_->GetCounter(std::string("allactive.shed.") + name);
+    admitted_counters_[p] =
+        metrics_->GetCounter(std::string("allactive.admitted.") + name);
+  }
+  drain_rejected_ = metrics_->GetCounter("allactive.drain.rejected");
+  produce_gauge_ =
+      metrics_->GetGauge("allactive." + region_ + ".inflight_produce");
+  query_gauge_ = metrics_->GetGauge("allactive." + region_ + ".inflight_query");
+}
+
+void RegionCapacity::RollWindowLocked() const {
+  const TimestampMs now = clock_->NowMs();
+  if (now - window_start_ >= options_.window_ms || now < window_start_) {
+    window_start_ = now;
+    produce_used_ = 0;
+    query_used_ = 0;
+  }
+}
+
+Status RegionCapacity::AdmitLocked(const char* kind, int64_t* used,
+                                   int64_t budget, Priority priority,
+                                   int64_t units) {
+  const auto p = static_cast<size_t>(priority);
+  const double weight = options_.priority_weights[p];
+  // The ladder: class p may push total usage up to weight_p * budget. With
+  // non-increasing weights, best-effort hits its ceiling first, then
+  // important; critical rides to the full budget, and the gap between the
+  // important weight and 1.0 is its guaranteed reserve.
+  const auto ceiling = static_cast<int64_t>(weight * static_cast<double>(budget));
+  if (*used + units > ceiling) {
+    shed_[p] += 1;
+    shed_counters_[p]->Increment();
+    return Status::ResourceExhausted(
+        "region " + region_ + " over " + kind + " budget for " +
+        stream::PriorityName(priority) + "; retry after " +
+        std::to_string(options_.retry_after_ms) + " ms");
+  }
+  *used += units;
+  admitted_[p] += units;
+  admitted_counters_[p]->Increment(units);
+  return Status::Ok();
+}
+
+Status RegionCapacity::AdmitProduce(const std::string& topic, Priority priority,
+                                    int64_t units) {
+  (void)topic;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    drain_rejected_->Increment();
+    return Status::Unavailable("region " + region_ +
+                               " draining for handover; re-route produce");
+  }
+  RollWindowLocked();
+  Status admitted = AdmitLocked("produce", &produce_used_,
+                                options_.max_inflight_produce_units, priority,
+                                units);
+  produce_gauge_->Set(produce_used_);
+  return admitted;
+}
+
+Status RegionCapacity::AdmitQuery(Priority priority, int64_t units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    drain_rejected_->Increment();
+    return Status::Unavailable("region " + region_ +
+                               " draining for handover; re-route query");
+  }
+  RollWindowLocked();
+  Status admitted = AdmitLocked("query", &query_used_,
+                                options_.max_inflight_query_units, priority,
+                                units);
+  query_gauge_->Set(query_used_);
+  return admitted;
+}
+
+void RegionCapacity::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+void RegionCapacity::EndDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = false;
+}
+
+bool RegionCapacity::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+int64_t RegionCapacity::inflight_produce() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RollWindowLocked();
+  return produce_used_;
+}
+
+int64_t RegionCapacity::inflight_query() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RollWindowLocked();
+  return query_used_;
+}
+
+int64_t RegionCapacity::shed_count(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_[static_cast<size_t>(priority)];
+}
+
+int64_t RegionCapacity::admitted_count(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_[static_cast<size_t>(priority)];
+}
+
+int64_t RegionCapacity::RetryAfterMsFromStatus(const Status& status) {
+  if (status.code() != StatusCode::kResourceExhausted) return -1;
+  const std::string& message = status.message();
+  const std::string marker = "retry after ";
+  size_t at = message.rfind(marker);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(message.c_str() + at + marker.size(), nullptr, 10);
+}
+
+}  // namespace uberrt::allactive

@@ -1,0 +1,123 @@
+#ifndef UBERRT_ALLACTIVE_CAPACITY_H_
+#define UBERRT_ALLACTIVE_CAPACITY_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "stream/admission.h"
+
+namespace uberrt::allactive {
+
+using stream::Priority;
+
+/// Per-region capacity budget ("Uber's Failover Architecture": failover is a
+/// capacity problem — the surviving region must absorb shifted traffic
+/// without melting, which means admission control with priority-ordered
+/// load shedding rather than best-wishes acceptance).
+struct CapacityOptions {
+  /// Max produce units in flight inside one admission window. A unit is one
+  /// message (batches cost record_count). Default is effectively unlimited
+  /// so existing topologies are unaffected until a budget is declared.
+  int64_t max_inflight_produce_units = INT64_MAX / 4;
+  /// Max query units in flight inside one admission window (a dashboard
+  /// refresh or surge computation declares its own cost).
+  int64_t max_inflight_query_units = INT64_MAX / 4;
+  /// Per-priority weights: the fraction of the budget traffic of class p
+  /// (and everything admitted before it) may fill before class p is shed.
+  /// kCritical gets the full budget; the gap between the kImportant weight
+  /// and 1.0 is the critical reserve that guarantees surge pricing is never
+  /// crowded out by dashboards. Must be non-increasing.
+  std::array<double, stream::kNumPriorities> priority_weights = {1.0, 0.6, 0.4};
+  /// Admission accounting window: units acquired by an admit are held until
+  /// the window rolls over on the region clock, so the budget is a bound on
+  /// per-window (≈ per-tick) load.
+  int64_t window_ms = 1000;
+  /// Retry-after hint carried by shed rejections (reject-with-retry-after,
+  /// never a silent drop).
+  int64_t retry_after_ms = 1000;
+};
+
+/// Tracks one region's inflight produce/query units and sheds over-budget
+/// traffic lowest-priority-first. Installed on the region's *regional*
+/// broker as its produce admission (replication into aggregates is internal
+/// traffic and exempt). Thread-safe.
+///
+/// Metrics (into the shared topology registry):
+///   allactive.shed.<priority>            sheds, produce + query combined
+///   allactive.admitted.<priority>        admitted units
+///   allactive.drain.rejected             produces rejected while draining
+///   allactive.<region>.inflight_produce  gauge, current window
+///   allactive.<region>.inflight_query    gauge, current window
+class RegionCapacity : public stream::ProduceAdmission {
+ public:
+  RegionCapacity(std::string region, CapacityOptions options, Clock* clock,
+                 MetricsRegistry* metrics = nullptr);
+
+  /// stream::ProduceAdmission. Sheds with kResourceExhausted ("retry after
+  /// <n> ms"); while draining rejects everything with kUnavailable so
+  /// clients re-route to the takeover region instead of backing off.
+  Status AdmitProduce(const std::string& topic, Priority priority,
+                      int64_t units) override;
+
+  /// Same admission ladder for query-side work (dashboards vs surge).
+  Status AdmitQuery(Priority priority, int64_t units = 1);
+
+  /// Drain-based handover: stop-new-work. Admissions are rejected until
+  /// EndDrain; inflight units decay as the window rolls.
+  void BeginDrain();
+  void EndDrain();
+  bool draining() const;
+
+  /// Units admitted in the current window (rolls the window first, so a
+  /// drain loop on a simulated clock observes the decay).
+  int64_t inflight_produce() const;
+  int64_t inflight_query() const;
+
+  /// Per-region shed/admit tallies (the shared-registry counters aggregate
+  /// across regions; drill reports need the per-region split).
+  int64_t shed_count(Priority priority) const;
+  int64_t admitted_count(Priority priority) const;
+
+  /// Extracts the "retry after <n> ms" hint from a shed rejection; -1 when
+  /// the status is not a shed.
+  static int64_t RetryAfterMsFromStatus(const Status& status);
+
+  const std::string& region() const { return region_; }
+  const CapacityOptions& options() const { return options_; }
+
+ private:
+  /// Shared admission ladder. `used` is the inflight counter for the kind,
+  /// `budget` its max units. Caller holds mu_.
+  Status AdmitLocked(const char* kind, int64_t* used, int64_t budget,
+                     Priority priority, int64_t units);
+  void RollWindowLocked() const;
+
+  const std::string region_;
+  const CapacityOptions options_;
+  Clock* const clock_;
+  MetricsRegistry owned_metrics_;  // used when no registry is injected
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  mutable TimestampMs window_start_ = 0;
+  mutable int64_t produce_used_ = 0;
+  mutable int64_t query_used_ = 0;
+  bool draining_ = false;
+  std::array<int64_t, stream::kNumPriorities> shed_{};
+  std::array<int64_t, stream::kNumPriorities> admitted_{};
+
+  Counter* shed_counters_[stream::kNumPriorities];
+  Counter* admitted_counters_[stream::kNumPriorities];
+  Counter* drain_rejected_;
+  Gauge* produce_gauge_;
+  Gauge* query_gauge_;
+};
+
+}  // namespace uberrt::allactive
+
+#endif  // UBERRT_ALLACTIVE_CAPACITY_H_

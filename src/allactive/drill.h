@@ -1,0 +1,131 @@
+#ifndef UBERRT_ALLACTIVE_DRILL_H_
+#define UBERRT_ALLACTIVE_DRILL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "allactive/capacity.h"
+#include "common/status.h"
+#include "workload/generators.h"
+
+namespace uberrt::allactive {
+
+/// Planned = capacity-aware graceful handover (partial shift, drain, flip)
+/// completed *before* the scripted outage window hits the vacated region —
+/// the maintenance-drill shape. Unplanned = the outage lands on the live
+/// primary and the health-check plane must auto-fail-over mid-traffic.
+enum class DrillMode { kPlanned, kUnplanned };
+
+/// Capacity budgets sized for the default drill traffic so that the
+/// post-failover surge sheds best-effort (and possibly some important)
+/// work while critical traffic always fits: the survivor carries
+/// events_per_tick + base_events_per_tick = 150 produce units/window against
+/// a 260-unit budget with weights {1.0, 0.6, 0.4} — best-effort ceiling 104,
+/// critical reserve 104 units.
+CapacityOptions DrillCapacityDefaults();
+
+struct DrillOptions {
+  std::string from_region = "dca";
+  std::string to_region = "phx";
+  std::string service = "surge";
+  std::string topic = "trips";
+  std::string group = "payments";
+  int64_t ticks = 40;
+  int64_t tick_ms = 1000;
+  /// The outage window on from_region opens half a tick before this tick
+  /// (outages never align with health sweeps) and closes at outage_end_tick.
+  int64_t outage_start_tick = 10;
+  int64_t outage_end_tick = 25;
+  /// Planned-mode schedule: shift partial_percent of the split at
+  /// planned_partial_tick, full drain-handover at planned_handover_tick
+  /// (both before the outage window opens).
+  int64_t planned_partial_tick = 5;
+  int64_t planned_handover_tick = 8;
+  int32_t partial_percent = 50;
+  /// Routed service traffic (follows the coordinator's split) and the
+  /// survivor's own steady direct load, per tick.
+  int64_t events_per_tick = 100;
+  int64_t base_events_per_tick = 50;
+  /// Query-side admissions per tick against the primary region: dashboard
+  /// refreshes are best-effort, surge computations critical. When the
+  /// primary is the survivor both regions' query load lands on it (doubled).
+  int64_t dashboard_queries_per_tick = 10;
+  int64_t surge_queries_per_tick = 3;
+  workload::PriorityMix mix{0.15, 0.35};
+  /// A tick violates the freshness SLA when the consumer has not completed
+  /// a successful poll within this long.
+  int64_t freshness_sla_ms = 5'000;
+  /// Extra chaos on the control/replication planes: probabilistic transient
+  /// faults on "ureplicator.copy" and "allactive.offset_sync". Both planes
+  /// sit behind retries, so the gate invariants must hold regardless.
+  double replication_fault_probability = 0.0;
+  double offset_sync_fault_probability = 0.0;
+  CapacityOptions capacity = DrillCapacityDefaults();
+  uint64_t seed = 42;
+};
+
+/// Everything a drill records — the evidence an operator reviews after a
+/// failover exercise, persisted to BENCH_drills.json.
+struct DrillReport {
+  std::string name;  // "planned" | "unplanned"
+  /// Outage (or handover) start to the first successful poll in the
+  /// takeover region. -1 if recovery never completed.
+  int64_t mttr_ms = -1;
+  bool drained = false;
+  bool abandoned = false;
+  int64_t drain_ms = 0;
+  int64_t synced_partitions = 0;
+  int64_t attempted = 0;
+  int64_t acked = 0;
+  int64_t consumed = 0;
+  /// Messages consumed more than once (bounded replay after offset sync).
+  int64_t replayed = 0;
+  /// Acked messages never consumed by drill end. The gate requires 0.
+  int64_t lost = 0;
+  /// Produce sheds by priority (open-loop tallies). The gate requires
+  /// shed_critical == 0.
+  int64_t shed_critical = 0;
+  int64_t shed_important = 0;
+  int64_t shed_besteffort = 0;
+  /// Query-side sheds by priority.
+  int64_t query_shed_critical = 0;
+  int64_t query_shed_important = 0;
+  int64_t query_shed_besteffort = 0;
+  /// Produce attempts rejected because no region could take them (down or
+  /// draining) — re-route traffic, not shed traffic.
+  int64_t unavailable = 0;
+  /// Per-key deterministic reroutes around a down regional cluster.
+  int64_t rerouted = 0;
+  int64_t sla_violations = 0;
+  int64_t failover_retry_attempts = 0;
+  int64_t auto_failovers = 0;
+  int64_t faults_injected = 0;
+};
+
+/// Runs scripted failover drills against a fresh two-region topology under
+/// live open-loop TripEventGenerator traffic, on a simulated clock with a
+/// FaultInjector-scripted outage window. Deterministic for a given options
+/// struct (same seed, same schedule => same report).
+class DrillHarness {
+ public:
+  explicit DrillHarness(DrillOptions options) : options_(std::move(options)) {}
+
+  /// Executes one drill end to end (build world, run ticks, recover, audit
+  /// loss) and returns the evidence.
+  DrillReport Run(DrillMode mode);
+
+  const DrillOptions& options() const { return options_; }
+
+ private:
+  DrillOptions options_;
+};
+
+/// Writes the drill reports (plus cross-drill totals the CI gate reads) as
+/// JSON to `path`.
+Status WriteDrillReportsJson(const std::string& path,
+                             const std::vector<DrillReport>& reports);
+
+}  // namespace uberrt::allactive
+
+#endif  // UBERRT_ALLACTIVE_DRILL_H_

@@ -4,9 +4,12 @@
 
 namespace uberrt::allactive {
 
-MultiRegionTopology::MultiRegionTopology(const std::vector<std::string>& region_names) {
+MultiRegionTopology::MultiRegionTopology(const std::vector<std::string>& region_names,
+                                         TopologyOptions options)
+    : options_(options) {
   for (const std::string& name : region_names) {
-    auto region = std::make_unique<Region>(name);
+    auto region =
+        std::make_unique<Region>(name, options_.capacity, options_.clock, &metrics_);
     regions_by_name_[name] = region.get();
     regions_.push_back(std::move(region));
   }
@@ -16,11 +19,11 @@ MultiRegionTopology::MultiRegionTopology(const std::vector<std::string>& region_
       Route route;
       route.source_region = source->name();
       route.destination_region = destination->name();
-      stream::UReplicatorOptions options;
-      options.checkpoint_every = 50;
+      stream::UReplicatorOptions rep_options;
+      rep_options.checkpoint_every = 50;
       route.replicator = std::make_unique<stream::UReplicator>(
           source->regional(), destination->aggregate(),
-          RouteName(source->name(), destination->name()), &mapping_store_, options);
+          RouteName(source->name(), destination->name()), &mapping_store_, rep_options);
       routes_.push_back(std::move(route));
     }
   }
@@ -34,11 +37,22 @@ void MultiRegionTopology::SetFaultInjector(common::FaultInjector* faults) {
 void MultiRegionTopology::SyncRegionHealth() {
   if (faults_ == nullptr) return;
   for (auto& region : regions_) {
-    const bool down = faults_->IsDown("region." + region->name());
-    if (down && region->healthy()) {
-      region->Fail();
-    } else if (!down && !region->healthy()) {
-      region->Restore();
+    // Component sites are children of "region.<name>", so a rule on the
+    // whole-region prefix (the pre-existing chaos vocabulary) downs both,
+    // while targeted scripts can fail one cluster and leave the other up.
+    const bool regional_down =
+        faults_->IsDown("region." + region->name() + ".regional");
+    const bool aggregate_down =
+        faults_->IsDown("region." + region->name() + ".aggregate");
+    if (regional_down) {
+      region->FailRegional();
+    } else {
+      region->RestoreRegional();
+    }
+    if (aggregate_down) {
+      region->FailAggregate();
+    } else {
+      region->RestoreAggregate();
     }
   }
 }
@@ -108,6 +122,9 @@ Result<int64_t> MultiRegionTopology::SyncConsumerOffsets(const std::string& grou
                                                          const std::string& topic,
                                                          const std::string& from_region,
                                                          const std::string& to_region) {
+  if (faults_ != nullptr) {
+    UBERRT_RETURN_IF_ERROR(faults_->Check("allactive.offset_sync"));
+  }
   Region* from = GetRegion(from_region);
   Region* to = GetRegion(to_region);
   if (from == nullptr || to == nullptr) return Status::NotFound("unknown region");
@@ -131,7 +148,21 @@ Result<int64_t> MultiRegionTopology::SyncConsumerOffsets(const std::string& grou
       const std::string outbound = RouteName(region->name(), to_region);
       Result<stream::OffsetMapping> at_from =
           mapping_store_.LatestByDestinationAtOrBefore(inbound, tp, committed.value());
-      if (!at_from.ok()) continue;
+      if (!at_from.ok()) {
+        // No inbound checkpoint at or before the committed offset. Every
+        // route anchors its first copied batch, so this proves the consumer
+        // has consumed nothing of this source in `from`. If the source has
+        // already reached `to`, the resume point must not skip past its
+        // first message there; a source with no presence in `to` constrains
+        // nothing. Dropping the source instead would let the min over the
+        // other sources overshoot its unconsumed messages — silent loss.
+        Result<stream::OffsetMapping> anchor = mapping_store_.Earliest(outbound, tp);
+        if (anchor.ok()) {
+          safe_offset = std::min(safe_offset, anchor.value().destination_offset);
+          any = true;
+        }
+        continue;
+      }
       Result<stream::OffsetMapping> at_to = mapping_store_.LatestAtOrBefore(
           outbound, tp, at_from.value().source_offset);
       if (!at_to.ok()) {

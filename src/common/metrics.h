@@ -76,6 +76,12 @@ class Histogram {
     return sum_ / static_cast<double>(samples_.size());
   }
 
+  /// Running sum of all recorded samples, without re-walking them.
+  double Sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+
   int64_t Max() const {
     std::lock_guard<std::mutex> lock(mu_);
     if (samples_.empty()) return 0;

@@ -137,6 +137,16 @@ Result<ProduceResult> Broker::Produce(const std::string& topic, Message message,
   if (common::FaultInjector* faults = faults_.load(std::memory_order_acquire)) {
     UBERRT_RETURN_IF_ERROR(faults->Check(produce_site_));
   }
+  // Capacity admission also fires before the append: a shed produce was
+  // never stored, so the acked-or-error contract extends to load shedding.
+  if (ProduceAdmission* admission = admission_.load(std::memory_order_acquire)) {
+    Priority priority = Priority::kImportant;
+    auto header = message.headers.find(kHeaderPriority);
+    if (header != message.headers.end()) {
+      priority = PriorityFromString(header->second);
+    }
+    UBERRT_RETURN_IF_ERROR(admission->AdmitProduce(topic, priority, 1));
+  }
   SpinCoordinationWork(ack);
   int32_t partition = message.partition;
   int32_t num_partitions = static_cast<int32_t>(t->partitions.size());
@@ -184,6 +194,12 @@ Result<ProduceResult> Broker::ProduceBatch(const std::string& topic, int32_t par
   // Faults fire before the append; an error always means nothing was stored.
   if (common::FaultInjector* faults = faults_.load(std::memory_order_acquire)) {
     UBERRT_RETURN_IF_ERROR(faults->Check(produce_site_));
+  }
+  // Batches carry no per-record headers; admit at the default priority with
+  // the whole batch as one unit block (shed-or-stored, never split).
+  if (ProduceAdmission* admission = admission_.load(std::memory_order_acquire)) {
+    UBERRT_RETURN_IF_ERROR(
+        admission->AdmitProduce(topic, Priority::kImportant, batch.record_count));
   }
   // One coordination round trip per batch, not per record — the lever the
   // Kafka benchmark-practices paper identifies as dominating throughput.

@@ -13,6 +13,7 @@
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "stream/admission.h"
 #include "stream/log.h"
 #include "stream/message.h"
 #include "stream/message_bus.h"
@@ -146,6 +147,18 @@ class Broker : public MessageBus {
     faults_.store(faults, std::memory_order_release);
   }
 
+  /// Attaches a capacity admission layer consulted on every Produce /
+  /// ProduceBatch after the availability and fault gates, before the append
+  /// (a rejected produce was never stored). Priority comes from the
+  /// message's kHeaderPriority header; batches are admitted at kImportant
+  /// with units = record_count. Replicate() is exempt: replication is
+  /// internal traffic whose source was already admitted. Pass nullptr to
+  /// detach. The admission object must outlive the broker or be detached
+  /// first.
+  void SetAdmission(ProduceAdmission* admission) {
+    admission_.store(admission, std::memory_order_release);
+  }
+
   MetricsRegistry* metrics() { return &metrics_; }
 
  private:
@@ -183,6 +196,7 @@ class Broker : public MessageBus {
   std::map<std::string, int64_t> committed_;  // group\0topic\0partition -> offset
   std::atomic<bool> available_{true};
   std::atomic<common::FaultInjector*> faults_{nullptr};
+  std::atomic<ProduceAdmission*> admission_{nullptr};
   // Cached site names so the hot path does not concatenate per call.
   std::string produce_site_;
   std::string fetch_site_;

@@ -62,6 +62,16 @@ std::vector<OffsetMapping> OffsetMappingStore::GetAll(const std::string& route,
   return it->second;
 }
 
+Result<OffsetMapping> OffsetMappingStore::Earliest(const std::string& route,
+                                                   const TopicPartition& tp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mappings_.find(MappingKey(route, tp));
+  if (it == mappings_.end() || it->second.empty()) {
+    return Status::NotFound("no checkpoints for route");
+  }
+  return it->second.front();
+}
+
 UReplicator::UReplicator(Broker* source, Broker* destination, std::string route,
                          OffsetMappingStore* mapping_store,
                          UReplicatorOptions options)
@@ -306,6 +316,17 @@ Result<int64_t> UReplicator::RunOnce() {
           state->since_checkpoint += copied;
           out->replicated += copied;
           remaining -= copied;
+          if (mapping_store_ != nullptr && !state->anchored) {
+            // Anchor the route's first copied message. Offset sync treats a
+            // source with no checkpoint at-or-before the committed offset
+            // as never consumed, which is only sound if the first copied
+            // batch is always visible in the store.
+            mapping_store_->Checkpoint(
+                route_, tp,
+                OffsetMapping{batch.value().messages.front().offset,
+                              produced.value().offset});
+            state->anchored = true;
+          }
           if (mapping_store_ != nullptr &&
               state->since_checkpoint >= options_.checkpoint_every) {
             mapping_store_->Checkpoint(

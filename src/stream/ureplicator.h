@@ -66,6 +66,12 @@ class OffsetMappingStore {
   std::vector<OffsetMapping> GetAll(const std::string& route,
                                     const TopicPartition& tp) const;
 
+  /// Earliest checkpoint for a route/tp — the anchor written when the route
+  /// copies its first batch, i.e. where this source's first message landed
+  /// in the destination. NotFound when the route has copied nothing yet.
+  Result<OffsetMapping> Earliest(const std::string& route,
+                                 const TopicPartition& tp) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::vector<OffsetMapping>> mappings_;
@@ -179,6 +185,12 @@ class UReplicator {
     int32_t owner = -1;
     int64_t source_position = 0;
     int64_t since_checkpoint = 0;
+    // Whether the first copied batch has been anchored in the mapping
+    // store. Offset sync relies on every active route/partition having a
+    // mapping at its first copied message: "no checkpoint at or before the
+    // committed offset" then proves the consumer saw nothing of that
+    // source, rather than meaning the source is merely between checkpoints.
+    bool anchored = false;
   };
 
   int32_t LeastLoadedWorkerLocked() const;

@@ -100,6 +100,48 @@ Result<int64_t> TripEventGenerator::Produce(stream::MessageBus* bus,
   return produced;
 }
 
+OpenLoopTick TripEventGenerator::ProduceOpenLoop(
+    const std::function<stream::MessageBus*(const std::string& key)>& route,
+    const std::string& topic, int64_t count, const PriorityMix& mix,
+    const std::function<void(const stream::Message&, stream::Priority)>& on_ack) {
+  OpenLoopTick tick;
+  for (int64_t i = 0; i < count; ++i) {
+    Row row = NextRow();
+    const std::string key = row[1].AsString();
+    const TimestampMs event_time = row[6].AsInt();
+    const std::string uid = "trip-" + std::to_string(row[0].AsInt());
+    const double u = rng_.NextDouble();
+    const stream::Priority priority =
+        u < mix.critical ? stream::Priority::kCritical
+        : u < mix.critical + mix.important ? stream::Priority::kImportant
+                                           : stream::Priority::kBestEffort;
+    stream::Message message;
+    message.key = key;
+    message.value = EncodeRow(row);
+    message.timestamp = event_time;
+    message.headers[stream::kHeaderUid] = uid;
+    message.headers[stream::kHeaderService] = "workload-gen";
+    message.headers[stream::kHeaderPriority] = stream::PriorityName(priority);
+    ++tick.attempted;
+    stream::MessageBus* bus = route ? route(key) : nullptr;
+    if (bus == nullptr) {
+      ++tick.unavailable;
+      continue;
+    }
+    Result<stream::ProduceResult> produced =
+        bus->Produce(topic, message, stream::AckMode::kLeader);
+    if (produced.ok()) {
+      ++tick.acked;
+      if (on_ack) on_ack(message, priority);
+    } else if (produced.status().code() == StatusCode::kResourceExhausted) {
+      ++tick.shed[static_cast<size_t>(priority)];
+    } else {
+      ++tick.unavailable;
+    }
+  }
+  return tick;
+}
+
 // --- EatsOrderGenerator ------------------------------------------------------
 
 EatsOrderGenerator::EatsOrderGenerator(Options options, uint64_t seed)

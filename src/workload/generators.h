@@ -1,7 +1,9 @@
 #ifndef UBERRT_WORKLOAD_GENERATORS_H_
 #define UBERRT_WORKLOAD_GENERATORS_H_
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,10 +11,34 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "stream/admission.h"
 #include "stream/message.h"
 #include "stream/message_bus.h"
 
 namespace uberrt::workload {
+
+/// Share of open-loop traffic produced at each priority class; whatever is
+/// left after critical + important is best-effort. Drives the capacity
+/// layer's load shedding (allactive/capacity.h).
+struct PriorityMix {
+  double critical = 0.1;
+  double important = 0.3;
+};
+
+/// Outcome tally of one open-loop production burst. Open-loop means the
+/// generator never blocks or retries: a rejection is recorded and the next
+/// event is offered anyway, like real traffic that keeps arriving during an
+/// overload or failover drill.
+struct OpenLoopTick {
+  int64_t attempted = 0;
+  int64_t acked = 0;
+  /// Sheds (kResourceExhausted) by priority class, indexed by
+  /// stream::Priority.
+  std::array<int64_t, stream::kNumPriorities> shed{};
+  /// kUnavailable rejections (region down or draining) and any other
+  /// produce failure — traffic the caller should re-route, not back off.
+  int64_t unavailable = 0;
+};
 
 /// Imperfection knobs shared by all generators — the real-world behaviours
 /// the paper's infrastructure must absorb: late arrivals (out-of-order event
@@ -51,6 +77,19 @@ class TripEventGenerator {
   /// count extra).
   Result<int64_t> Produce(stream::MessageBus* bus, const std::string& topic,
                           int64_t count);
+
+  /// Open-loop drive for failover drills: offers `count` events, each
+  /// stamped with a priority drawn from `mix` (kHeaderPriority header) and
+  /// routed per event via `route(key)` — which is how the drill harness
+  /// points traffic at whatever region the coordinator's split says. A
+  /// nullptr route or failed produce is tallied, never retried (open loop:
+  /// riders keep requesting trips whether or not the region is melting).
+  /// `on_ack` fires for every acked message (uid ledger for loss audits).
+  OpenLoopTick ProduceOpenLoop(
+      const std::function<stream::MessageBus*(const std::string& key)>& route,
+      const std::string& topic, int64_t count, const PriorityMix& mix,
+      const std::function<void(const stream::Message&, stream::Priority)>& on_ack =
+          nullptr);
 
   TimestampMs last_event_time() const { return current_time_; }
 

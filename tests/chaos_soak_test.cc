@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "allactive/coordinator.h"
+#include "allactive/drill.h"
 #include "allactive/topology.h"
 #include "common/fault_injector.h"
 #include "common/retry.h"
@@ -454,6 +455,35 @@ TEST(ChaosSoakTest, TieredQueriesStayExactWhileStoreFlapsDuringColdReloads) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report.value().segments_lost, 0);
   ASSERT_EQ(exact_count(), produced);
+}
+
+// --- Scenario F: capacity-aware failover drill under control-plane chaos --
+// An unplanned drill (outage lands on the live primary mid-traffic) with
+// probabilistic faults layered onto the replication pumps and the offset-sync
+// plane — both sit behind retries. Invariants: every admitted-and-acked
+// message is consumed exactly (bounded replay, zero loss), and shedding only
+// ever happens at the declared priorities: the overloaded survivor sheds
+// best-effort work, never critical.
+TEST(ChaosSoakTest, DrillUnderLiveTrafficShedsOnlyDeclaredPriorities) {
+  allactive::DrillOptions options;
+  options.seed = ChaosSeed() + 5;
+  options.replication_fault_probability = 0.25;
+  options.offset_sync_fault_probability = 0.5;
+  allactive::DrillHarness harness(options);
+  allactive::DrillReport report = harness.Run(allactive::DrillMode::kUnplanned);
+
+  // The gate: no critical shed, no acked message lost.
+  EXPECT_EQ(report.shed_critical, 0);
+  EXPECT_EQ(report.query_shed_critical, 0);
+  EXPECT_EQ(report.lost, 0);
+  EXPECT_EQ(report.consumed, report.acked);
+  // The drill was real: traffic flowed, the survivor shed best-effort load,
+  // the health plane failed over on its own, and the chaos actually fired.
+  EXPECT_GT(report.acked, 0);
+  EXPECT_GT(report.shed_besteffort, 0);
+  EXPECT_GE(report.auto_failovers, 1);
+  EXPECT_GT(report.faults_injected, 0);
+  EXPECT_LT(report.replayed, report.consumed);
 }
 
 }  // namespace

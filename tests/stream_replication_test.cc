@@ -128,8 +128,18 @@ TEST_F(UReplicatorTest, OffsetMappingCheckpointsRecorded) {
   Result<OffsetMapping> inverse = mappings_.LatestByDestinationAtOrBefore("r", tp, 35);
   ASSERT_TRUE(inverse.ok());
   EXPECT_LE(inverse.value().destination_offset, 35);
-  // Before any checkpoint: NotFound.
-  EXPECT_TRUE(mappings_.LatestAtOrBefore("r", tp, 3).status().IsNotFound());
+  // The first checkpoint is an anchor at the route's first copied message,
+  // so lookups below the first cadence checkpoint resolve to it instead of
+  // NotFound — offset sync relies on this to prove a source with no
+  // qualifying checkpoint was never consumed at all.
+  Result<OffsetMapping> anchor = mappings_.LatestAtOrBefore("r", tp, 3);
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(anchor.value().source_offset, 0);
+  EXPECT_EQ(anchor.value().destination_offset, 0);
+  ASSERT_TRUE(mappings_.Earliest("r", tp).ok());
+  EXPECT_EQ(mappings_.Earliest("r", tp).value().destination_offset, 0);
+  // A route that never copied anything has no anchor.
+  EXPECT_TRUE(mappings_.Earliest("r", TopicPartition{"t", 5}).status().IsNotFound());
 }
 
 TEST(ChaperoneTest, DetectsLossBetweenStages) {
