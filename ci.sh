@@ -12,6 +12,9 @@
 #      (UBERRT_PERF_GATE); the honest ratio + core count land in BENCH_c5.json.
 #      bench_stream_throughput likewise gates the batched/zero-copy stream
 #      path against the per-message baseline (ratios in BENCH_stream.json),
+#      bench_compute_throughput gates the batch-at-a-time dataflow
+#      (ElementBatch channels, operator chaining, flat-hash keyed state)
+#      against the per-record baseline (ratios in BENCH_compute.json),
 #      and bench_tiering gates the warm-tier footprint and the cluster
 #      memory budget (curves in BENCH_tiering.json).
 # Usage: ./ci.sh
@@ -23,7 +26,7 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test|olap_morsel_parity_test|olap_upsert_recovery_test|olap_tiering_test|allactive_drill_test"
+CONCURRENCY_SUITES="common_executor_test|stream_log_test|stream_broker_concurrency_test|olap_cluster_concurrency_test|chaos_soak_test|olap_vectorized_parity_test|olap_morsel_parity_test|olap_upsert_recovery_test|olap_tiering_test|allactive_drill_test|compute_batch_parity_test"
 for SAN in address thread; do
   echo "== sanitizer gate: ${SAN} =="
   cmake -B "build-${SAN}" -S . -DUBERRT_SANITIZE="${SAN}"
@@ -31,7 +34,7 @@ for SAN in address thread; do
     common_executor_test stream_log_test stream_broker_concurrency_test \
     olap_cluster_concurrency_test chaos_soak_test olap_vectorized_parity_test \
     olap_morsel_parity_test olap_upsert_recovery_test olap_tiering_test \
-    allactive_drill_test
+    allactive_drill_test compute_batch_parity_test
   ctest --test-dir "build-${SAN}" --output-on-failure -R "^(${CONCURRENCY_SUITES})$"
 done
 
@@ -64,6 +67,14 @@ cmake --build build -j --target bench_c5_pinot_vs_druid
 echo "== perf smoke: batched vs per-message stream log (bench_stream_throughput) =="
 cmake --build build -j --target bench_stream_throughput
 (cd build && UBERRT_PERF_GATE=1 ./bench/bench_stream_throughput)
+
+# Perf smoke: the batch-at-a-time compute runtime (ElementBatch channels,
+# operator chaining, flat-hash keyed state) must not regress below the
+# retained per-record dataflow on either the windowed-aggregation or the
+# window-join pipeline (Release build; ratios in BENCH_compute.json).
+echo "== perf smoke: batched vs per-record dataflow (bench_compute_throughput) =="
+cmake --build build -j --target bench_compute_throughput
+(cd build && UBERRT_PERF_GATE=1 ./bench/bench_compute_throughput)
 
 # Perf smoke: 64-way dashboard concurrency — the morsel-parallel scatter
 # must hold p99 within tolerance of the serial broker and the result cache

@@ -19,14 +19,14 @@ void AppendU64(std::string* out, uint64_t v) {
   out->append(buf, 8);
 }
 
-bool ReadU32(const std::string& data, size_t* pos, uint32_t* out) {
+bool ReadU32(std::string_view data, size_t* pos, uint32_t* out) {
   if (*pos + 4 > data.size()) return false;
   std::memcpy(out, data.data() + *pos, 4);
   *pos += 4;
   return true;
 }
 
-bool ReadU64(const std::string& data, size_t* pos, uint64_t* out) {
+bool ReadU64(std::string_view data, size_t* pos, uint64_t* out) {
   if (*pos + 8 > data.size()) return false;
   std::memcpy(out, data.data() + *pos, 8);
   *pos += 8;
@@ -100,39 +100,41 @@ std::string RowSchema::ToString() const {
   return os.str();
 }
 
+void AppendValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      AppendU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, 8);
+      AppendU64(out, bits);
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      AppendU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      break;
+    }
+    case ValueType::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
 std::string EncodeRow(const Row& row) {
   std::string out;
   AppendU32(&out, static_cast<uint32_t>(row.size()));
-  for (const Value& v : row) {
-    out.push_back(static_cast<char>(v.type()));
-    switch (v.type()) {
-      case ValueType::kNull:
-        break;
-      case ValueType::kInt:
-        AppendU64(&out, static_cast<uint64_t>(v.AsInt()));
-        break;
-      case ValueType::kDouble: {
-        uint64_t bits;
-        double d = v.AsDouble();
-        std::memcpy(&bits, &d, 8);
-        AppendU64(&out, bits);
-        break;
-      }
-      case ValueType::kString: {
-        const std::string& s = v.AsString();
-        AppendU32(&out, static_cast<uint32_t>(s.size()));
-        out.append(s);
-        break;
-      }
-      case ValueType::kBool:
-        out.push_back(v.AsBool() ? 1 : 0);
-        break;
-    }
-  }
+  for (const Value& v : row) AppendValue(&out, v);
   return out;
 }
 
-Result<Row> DecodeRow(const std::string& data) {
+Result<Row> DecodeRow(std::string_view data) {
   size_t pos = 0;
   uint32_t count = 0;
   if (!ReadU32(data, &pos, &count)) {
@@ -168,7 +170,7 @@ Result<Row> DecodeRow(const std::string& data) {
         uint32_t len;
         if (!ReadU32(data, &pos, &len)) return Status::Corruption("string length truncated");
         if (pos + len > data.size()) return Status::Corruption("string body truncated");
-        row.push_back(Value(data.substr(pos, len)));
+        row.push_back(Value(std::string(data.substr(pos, len))));
         pos += len;
         break;
       }

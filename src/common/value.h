@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -110,9 +111,16 @@ using Row = std::vector<Value>;
 /// u32-length-prefixed).
 std::string EncodeRow(const Row& row);
 
+/// Appends one value's encoded form (1-byte tag + body, same wire layout as
+/// EncodeRow fields) to `out`. Exposed so hot paths can encode partial rows
+/// (e.g. group/window key scratch buffers) without materializing a Row.
+void AppendValue(std::string* out, const Value& v);
+
 /// Decodes a row previously produced by EncodeRow. Returns Corruption on any
-/// malformed input (short buffer, bad tag).
-Result<Row> DecodeRow(const std::string& data);
+/// malformed input (short buffer, bad tag). Takes a borrowed view so callers
+/// can decode straight from zero-copy stream slices (wire::MessageView) with
+/// no owning deep copy of the payload; the returned Row owns its values.
+Result<Row> DecodeRow(std::string_view data);
 
 }  // namespace uberrt
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/value.h"
@@ -42,6 +43,25 @@ struct Element {
     e.kind = Kind::kEnd;
     return e;
   }
+};
+
+/// Unit carried through a dataflow channel: a run of records optionally
+/// followed by control elements (watermark / end), in order. Batching
+/// amortizes the queue mutex, the wakeup CAS and the dispatch bookkeeping
+/// over every element in the batch instead of paying them per record
+/// (Flink's network-buffer batching, Section 4.2). A batch of one element
+/// degenerates to the old per-record dataflow, which the bench keeps as its
+/// baseline.
+///
+/// Rows inside the batch own their values outright (decoded from borrowed
+/// stream views at the source boundary), so a batch has no lifetime tie to
+/// the broker arenas it was read from: the FetchedBatch pin is released at
+/// the end of the source poll cycle that decoded it.
+struct ElementBatch {
+  std::vector<Element> items;
+
+  bool empty() const { return items.empty(); }
+  size_t size() const { return items.size(); }
 };
 
 }  // namespace uberrt::compute

@@ -10,9 +10,9 @@ namespace uberrt::compute {
 
 namespace {
 
-/// Elements one instance task processes before rescheduling itself, so a
-/// small pool round-robins fairly across a wide pipeline.
-constexpr int kInstanceTaskBudget = 128;
+/// Elements (not batches) one instance task processes before rescheduling
+/// itself, so a small pool round-robins fairly across a wide pipeline.
+constexpr int kInstanceTaskBudget = 1024;
 
 /// Terminal stage: delivers rows to the configured sink.
 class SinkOperator : public OperatorInstance {
@@ -43,7 +43,7 @@ class SinkOperator : public OperatorInstance {
 }  // namespace
 
 struct JobRunner::Wiring {
-  std::vector<BoundedQueue<Element>*> queues;
+  std::vector<BoundedQueue<ElementBatch>*> queues;
   std::vector<Instance*> targets;  ///< parallel to queues, for wakeups
   bool keyed = false;
   std::vector<int> key_indices[2];  ///< per input side (joins); [0] otherwise
@@ -51,15 +51,25 @@ struct JobRunner::Wiring {
 };
 
 struct JobRunner::PendingPush {
-  Element element;
+  ElementBatch batch;
   Wiring* wiring = nullptr;
   size_t target = 0;
+};
+
+/// Per-producer output staging: one open batch per downstream target plus a
+/// reused key-encoding scratch buffer. Owned by exactly one task at a time
+/// (the producer's current quantum), so no locking. Elements in a pending
+/// batch are already counted in in_flight_ — a producer always flushes (to
+/// queue or stash) before ending its quantum, so quiesce never misses them.
+struct JobRunner::OutBuffer {
+  std::vector<ElementBatch> pending;  ///< parallel to the wiring's queues
+  std::string key_scratch;
 };
 
 struct JobRunner::Instance {
   int stage = 0;
   int index = 0;
-  std::unique_ptr<BoundedQueue<Element>> queue;
+  std::unique_ptr<BoundedQueue<ElementBatch>> queue;
   std::unique_ptr<OperatorInstance> op;
   Wiring* output = nullptr;  ///< null for the sink stage
   int num_upstream = 0;
@@ -78,6 +88,7 @@ struct JobRunner::Instance {
   std::vector<TimestampMs> upstream_wm;
   int ends_remaining = 0;
   TimestampMs aligned = INT64_MIN;
+  OutBuffer out;                  ///< output batching, owner-task only
   std::deque<PendingPush> stash;  ///< output backpressure, owner-task only
 };
 
@@ -99,6 +110,7 @@ struct JobRunner::SourceState {
   bool finishing = false;
   bool final_sent = false;  ///< terminal watermark+End broadcast issued
   std::vector<int64_t> end_targets;
+  OutBuffer out;
   std::deque<PendingPush> stash;
 
   /// Watermark base: min event time over partitions. A partition with no
@@ -125,26 +137,18 @@ struct JobRunner::SourceState {
 namespace {
 
 /// Emitter bound to one instance: routes records into the next stage
-/// through the instance's own stash (never blocks the pool thread).
+/// through the instance's own output buffer and stash (never blocks the
+/// pool thread).
 class RunnerEmitter : public Emitter {
  public:
-  RunnerEmitter(JobRunner* runner, JobRunner::Instance* instance,
-                void (JobRunner::*dispatch)(Element, JobRunner::Wiring&,
-                                            std::deque<JobRunner::PendingPush>*))
-      : runner_(runner), instance_(instance), dispatch_(dispatch) {}
+  RunnerEmitter(JobRunner* runner, JobRunner::Instance* instance)
+      : runner_(runner), instance_(instance) {}
 
-  void Emit(Row row, TimestampMs event_time) override {
-    if (instance_->output == nullptr) return;
-    Element element = Element::Record(std::move(row), event_time);
-    element.from_channel = instance_->index;
-    (runner_->*dispatch_)(std::move(element), *instance_->output, &instance_->stash);
-  }
+  void Emit(Row row, TimestampMs event_time) override;
 
  private:
   JobRunner* runner_;
   JobRunner::Instance* instance_;
-  void (JobRunner::*dispatch_)(Element, JobRunner::Wiring&,
-                               std::deque<JobRunner::PendingPush>*);
 };
 
 }  // namespace
@@ -154,7 +158,9 @@ JobRunner::JobRunner(JobGraph graph, stream::MessageBus* bus,
     : graph_(std::move(graph)),
       bus_(bus),
       options_(options),
-      checkpoint_store_(store, options.checkpoint_prefix, graph_.name()) {}
+      checkpoint_store_(store, options.checkpoint_prefix, graph_.name()) {
+  max_batch_ = std::max<size_t>(1, options_.max_batch_records);
+}
 
 JobRunner::~JobRunner() { Cancel(); }
 
@@ -187,35 +193,71 @@ Status JobRunner::BuildTopology() {
     source_states_.push_back(std::move(src));
   }
 
+  // Stage plans: fuse runs of consecutive same-parallelism stateless
+  // transforms into one stage (Flink task chaining); stateful transforms
+  // and the sink stand alone.
   const auto& transforms = graph_.transforms();
-  size_t num_stages = transforms.size() + 1;  // + sink
+  plans_.clear();
+  for (size_t t = 0; t < transforms.size();) {
+    StagePlan plan;
+    plan.first = t;
+    plan.last = t;
+    plan.parallelism = transforms[t].parallelism;
+    if (options_.enable_chaining && IsStatelessTransform(transforms[t])) {
+      while (plan.last + 1 < transforms.size() &&
+             IsStatelessTransform(transforms[plan.last + 1]) &&
+             transforms[plan.last + 1].parallelism == plan.parallelism) {
+        ++plan.last;
+      }
+    }
+    t = plan.last + 1;
+    plans_.push_back(plan);
+  }
+  StagePlan sink_plan;
+  sink_plan.first = transforms.size();
+  sink_plan.last = transforms.size();
+  sink_plan.parallelism = 1;
+  sink_plan.is_sink = true;
+  plans_.push_back(sink_plan);
+
+  size_t num_stages = plans_.size();
   stages_.resize(num_stages);
   wirings_.resize(num_stages);
 
   // Instances per stage.
   for (size_t s = 0; s < num_stages; ++s) {
-    bool is_sink = s == transforms.size();
-    int32_t parallelism = is_sink ? 1 : transforms[s].parallelism;
+    const StagePlan& plan = plans_[s];
     int num_upstream = s == 0 ? static_cast<int>(graph_.sources().size())
-                              : transforms[s - 1].parallelism;
-    RowSchema input = graph_.SchemaAfter(static_cast<int>(s) - 1);
-    for (int32_t i = 0; i < parallelism; ++i) {
+                              : plans_[s - 1].parallelism;
+    RowSchema input = graph_.SchemaAfter(static_cast<int>(plan.first) - 1);
+    for (int32_t i = 0; i < plan.parallelism; ++i) {
       auto inst = std::make_unique<Instance>();
       inst->stage = static_cast<int>(s);
       inst->index = i;
-      inst->queue = std::make_unique<BoundedQueue<Element>>(options_.channel_capacity);
+      inst->queue =
+          std::make_unique<BoundedQueue<ElementBatch>>(options_.channel_capacity);
       inst->num_upstream = num_upstream;
-      inst->is_sink = is_sink;
+      inst->is_sink = plan.is_sink;
       inst->upstream_wm.assign(static_cast<size_t>(num_upstream), INT64_MIN);
       inst->ends_remaining = num_upstream;
-      if (is_sink) {
+      if (plan.is_sink) {
         inst->op = std::make_unique<SinkOperator>(graph_.sink(), bus_, &records_out_);
+      } else if (plan.last > plan.first) {
+        std::vector<TransformSpec> chain(transforms.begin() + plan.first,
+                                         transforms.begin() + plan.last + 1);
+        inst->op = CreateChainedOperatorInstance(std::move(chain));
       } else {
         RowSchema left = graph_.sources()[0].schema;
         RowSchema right =
             graph_.sources().size() > 1 ? graph_.sources()[1].schema : RowSchema();
-        inst->op = CreateOperatorInstance(transforms[s], input, left, right);
-        std::string key = "op." + std::to_string(s) + "." + std::to_string(i);
+        inst->op = CreateOperatorInstance(transforms[plan.first], input, left, right);
+      }
+      if (!plan.is_sink) {
+        // State lives with the stage's first transform; chained followers
+        // are stateless by construction and keep "" entries for key
+        // compatibility with unchained checkpoints.
+        std::string key =
+            "op." + std::to_string(plan.first) + "." + std::to_string(i);
         auto it = restored_.entries.find(key);
         if (it != restored_.entries.end()) {
           UBERRT_RETURN_IF_ERROR(inst->op->RestoreState(it->second));
@@ -233,11 +275,11 @@ Status JobRunner::BuildTopology() {
       wiring->queues.push_back(inst->queue.get());
       wiring->targets.push_back(inst.get());
     }
-    if (s < transforms.size()) {
-      const TransformSpec& t = transforms[s];
+    if (!plans_[s].is_sink) {
+      const TransformSpec& t = transforms[plans_[s].first];
       if (t.kind == TransformSpec::Kind::kWindowAggregate) {
         wiring->keyed = true;
-        RowSchema input = graph_.SchemaAfter(static_cast<int>(s) - 1);
+        RowSchema input = graph_.SchemaAfter(static_cast<int>(plans_[s].first) - 1);
         wiring->key_indices[0] = ResolveIndices(input, t.key_fields);
         wiring->key_indices[1] = wiring->key_indices[0];
       } else if (t.kind == TransformSpec::Kind::kWindowJoin) {
@@ -249,9 +291,15 @@ Status JobRunner::BuildTopology() {
     wirings_[s] = std::move(wiring);
   }
 
-  // Instance outputs.
+  // Instance outputs and per-producer output buffers.
   for (size_t s = 0; s + 1 < num_stages; ++s) {
-    for (auto& inst : stages_[s]) inst->output = wirings_[s + 1].get();
+    for (auto& inst : stages_[s]) {
+      inst->output = wirings_[s + 1].get();
+      inst->out.pending.resize(wirings_[s + 1]->queues.size());
+    }
+  }
+  for (auto& src : source_states_) {
+    src->out.pending.resize(wirings_[0]->queues.size());
   }
   return Status::Ok();
 }
@@ -319,15 +367,15 @@ void JobRunner::WakeInstance(Instance* instance) {
 bool JobRunner::FlushStash(std::deque<PendingPush>& stash) {
   while (!stash.empty()) {
     PendingPush& pending = stash.front();
-    BoundedQueue<Element>* queue = pending.wiring->queues[pending.target];
-    if (queue->TryPushRef(pending.element)) {
+    BoundedQueue<ElementBatch>* queue = pending.wiring->queues[pending.target];
+    if (queue->TryPushRef(pending.batch)) {
       WakeInstance(pending.wiring->targets[pending.target]);
       stash.pop_front();
       continue;
     }
     if (queue->closed()) {
       // Cancelled under us: drop, as the blocking Push used to.
-      in_flight_.fetch_sub(1);
+      in_flight_.fetch_sub(static_cast<int64_t>(pending.batch.items.size()));
       stash.pop_front();
       continue;
     }
@@ -336,63 +384,77 @@ bool JobRunner::FlushStash(std::deque<PendingPush>& stash) {
   return true;
 }
 
-void JobRunner::Dispatch(Element element, Wiring& wiring,
-                         std::deque<PendingPush>* stash) {
-  size_t n = wiring.queues.size();
-  size_t target = 0;
-  if (n > 1 || wiring.keyed) {
-    if (wiring.keyed) {
-      int side = element.side == 1 ? 1 : 0;
-      std::string key = EncodeKey(element.row, wiring.key_indices[side]);
-      target = static_cast<size_t>(Fnv1a64(key) % n);
-    } else {
-      target = wiring.round_robin.fetch_add(1) % n;
-    }
-  }
-  in_flight_.fetch_add(1);
+void JobRunner::FlushTarget(size_t target, Wiring& wiring, OutBuffer* out,
+                            std::deque<PendingPush>* stash) {
+  ElementBatch& pending = out->pending[target];
+  if (pending.items.empty()) return;
+  ElementBatch batch = std::move(pending);
+  pending.items.clear();
   // Per-queue FIFO from one producer must hold (watermarks may not overtake
   // records), so while anything sits in the stash, everything new queues
   // behind it.
   if (!stash->empty()) {
     FlushStash(*stash);
     if (!stash->empty()) {
-      stash->push_back({std::move(element), &wiring, target});
+      stash->push_back({std::move(batch), &wiring, target});
       return;
     }
   }
-  if (wiring.queues[target]->TryPushRef(element)) {
+  if (wiring.queues[target]->TryPushRef(batch)) {
     WakeInstance(wiring.targets[target]);
     return;
   }
   if (wiring.queues[target]->closed()) {
-    in_flight_.fetch_sub(1);  // queue closed during cancel
+    in_flight_.fetch_sub(static_cast<int64_t>(batch.items.size()));
     return;
   }
-  stash->push_back({std::move(element), &wiring, target});
+  stash->push_back({std::move(batch), &wiring, target});
 }
 
-void JobRunner::Broadcast(Element element, Wiring& wiring,
-                          std::deque<PendingPush>* stash) {
-  for (size_t target = 0; target < wiring.queues.size(); ++target) {
-    Element copy = element;
-    in_flight_.fetch_add(1);
-    if (!stash->empty()) {
-      FlushStash(*stash);
-      if (!stash->empty()) {
-        stash->push_back({std::move(copy), &wiring, target});
-        continue;
-      }
-    }
-    if (wiring.queues[target]->TryPushRef(copy)) {
-      WakeInstance(wiring.targets[target]);
-      continue;
-    }
-    if (wiring.queues[target]->closed()) {
-      in_flight_.fetch_sub(1);
-      continue;
-    }
-    stash->push_back({std::move(copy), &wiring, target});
+void JobRunner::FlushOut(Wiring& wiring, OutBuffer* out,
+                         std::deque<PendingPush>* stash) {
+  for (size_t target = 0; target < out->pending.size(); ++target) {
+    FlushTarget(target, wiring, out, stash);
   }
+}
+
+void JobRunner::EmitRecord(Element element, Wiring& wiring, OutBuffer* out,
+                           std::deque<PendingPush>* stash) {
+  size_t n = wiring.queues.size();
+  size_t target = 0;
+  if (wiring.keyed) {
+    int side = element.side == 1 ? 1 : 0;
+    EncodeKeyTo(element.row, wiring.key_indices[side], &out->key_scratch);
+    target = static_cast<size_t>(Fnv1a64(out->key_scratch) % n);
+  } else if (n > 1) {
+    target = wiring.round_robin.fetch_add(1) % n;
+  }
+  in_flight_.fetch_add(1);
+  ElementBatch& pending = out->pending[target];
+  pending.items.push_back(std::move(element));
+  if (pending.items.size() >= max_batch_) {
+    FlushTarget(target, wiring, out, stash);
+  }
+}
+
+void JobRunner::EmitControl(const Element& element, Wiring& wiring, OutBuffer* out,
+                            std::deque<PendingPush>* stash) {
+  for (size_t target = 0; target < out->pending.size(); ++target) {
+    in_flight_.fetch_add(1);
+    ElementBatch& pending = out->pending[target];
+    pending.items.push_back(element);
+    if (pending.items.size() >= max_batch_) {
+      FlushTarget(target, wiring, out, stash);
+    }
+  }
+}
+
+void RunnerEmitter::Emit(Row row, TimestampMs event_time) {
+  if (instance_->output == nullptr) return;
+  Element element = Element::Record(std::move(row), event_time);
+  element.from_channel = instance_->index;
+  runner_->EmitRecord(std::move(element), *instance_->output, &instance_->out,
+                      &instance_->stash);
 }
 
 void JobRunner::RunSource(size_t source_index) {
@@ -403,7 +465,9 @@ void JobRunner::RunSource(size_t source_index) {
   }
   // busy is set before any position write and cleared after the last one, so
   // WaitForQuiesce observing busy==false (after pausing) means no write is
-  // in progress and none will start until unpause.
+  // in progress and none will start until unpause. Every return path below
+  // flushes the output buffer first, so positions never run ahead of
+  // elements that are not yet queue-or-stash accounted.
   src.busy.store(true);
   Wiring& out = *wirings_[0];
 
@@ -438,14 +502,44 @@ void JobRunner::RunSource(size_t source_index) {
       src.end_targets[p] = end.ok() ? end.value() : src.positions[p].load();
     }
   }
+  // Per-record mode (max_batch_records <= 1) keeps the seed's deep-copy
+  // Fetch path so the bench baseline measures the old dataflow honestly;
+  // batched mode fetches borrowed views and decodes straight from the
+  // broker's arenas (zero copy until Row materialization). The FetchedBatch
+  // pin dies at the end of each partition's poll, after every record has
+  // been decoded into an owning Row.
+  const bool zero_copy = max_batch_ > 1;
   bool got_data = false;
   for (size_t p = 0; p < src.positions.size() && !cancel_.load(); ++p) {
     if (!src.stash.empty()) break;  // downstream full: stop pulling more
-    Result<std::vector<stream::Message>> batch =
-        bus_->Fetch(src.spec.topic, static_cast<int32_t>(p), src.positions[p],
-                    options_.source_poll_batch);
-    if (!batch.ok()) {
-      if (batch.status().code() == StatusCode::kOutOfRange) {
+    stream::FetchedBatch views;
+    std::vector<stream::Message> owned;
+    Status fetch_status = Status::Ok();
+    if (zero_copy) {
+      Result<stream::FetchedBatch> batch =
+          bus_->FetchViews(src.spec.topic, static_cast<int32_t>(p),
+                           src.positions[p], options_.source_poll_batch);
+      if (batch.ok()) {
+        views = std::move(batch.value());
+      } else {
+        fetch_status = batch.status();
+      }
+    } else {
+      Result<std::vector<stream::Message>> batch =
+          bus_->Fetch(src.spec.topic, static_cast<int32_t>(p), src.positions[p],
+                      options_.source_poll_batch);
+      if (batch.ok()) {
+        owned = std::move(batch.value());
+        for (stream::Message& m : owned) {
+          views.messages.push_back(
+              {m.key, m.value, m.timestamp, m.offset, m.partition, {}, {}, 0});
+        }
+      } else {
+        fetch_status = batch.status();
+      }
+    }
+    if (!fetch_status.ok()) {
+      if (fetch_status.code() == StatusCode::kOutOfRange) {
         Result<int64_t> begin =
             bus_->BeginOffset(src.spec.topic, static_cast<int32_t>(p));
         if (begin.ok() && begin.value() > src.positions[p]) {
@@ -454,12 +548,12 @@ void JobRunner::RunSource(size_t source_index) {
       }
       continue;
     }
-    for (stream::Message& m : batch.value()) {
+    for (const stream::wire::MessageView& m : views.messages) {
       got_data = true;
       Result<Row> row = DecodeRow(m.value);
-      // Position advances only after the record is in the pipeline (queue or
-      // stash — both counted in_flight_), so a checkpoint can never skip an
-      // unpushed record.
+      // Position advances only after the record is in the pipeline (queue,
+      // stash or pending output batch — all counted in_flight_), so a
+      // checkpoint can never skip an unpushed record.
       if (!row.ok()) {
         decode_errors_.fetch_add(1);
         src.positions[p] = m.offset + 1;
@@ -477,7 +571,7 @@ void JobRunner::RunSource(size_t source_index) {
       Element element = Element::Record(std::move(row.value()), t,
                                         static_cast<int32_t>(source_index));
       element.from_channel = static_cast<int32_t>(source_index);
-      Dispatch(std::move(element), out, &src.stash);
+      EmitRecord(std::move(element), out, &src.out, &src.stash);
       src.positions[p] = m.offset + 1;
       if (++src.records_since_watermark >= src.spec.watermark_interval_records) {
         src.records_since_watermark = 0;
@@ -485,11 +579,12 @@ void JobRunner::RunSource(size_t source_index) {
         if (base != INT64_MIN) {
           Element wm = Element::Watermark(base - src.spec.out_of_orderness_ms);
           wm.from_channel = static_cast<int32_t>(source_index);
-          Broadcast(std::move(wm), out, &src.stash);
+          EmitControl(wm, out, &src.out, &src.stash);
         }
       }
     }
   }
+  FlushOut(out, &src.out, &src.stash);
   if (src.finishing) {
     bool caught_up = true;
     for (size_t p = 0; p < src.positions.size(); ++p) {
@@ -499,13 +594,15 @@ void JobRunner::RunSource(size_t source_index) {
       }
     }
     if (caught_up) {
-      // Stash ordering keeps these behind any stashed records per queue.
+      // Batch + stash ordering keeps these behind any pending records per
+      // queue.
       Element wm = Element::Watermark(kMaxWatermark);
       wm.from_channel = static_cast<int32_t>(source_index);
-      Broadcast(std::move(wm), out, &src.stash);
+      EmitControl(wm, out, &src.out, &src.stash);
       Element end = Element::End();
       end.from_channel = static_cast<int32_t>(source_index);
-      Broadcast(std::move(end), out, &src.stash);
+      EmitControl(end, out, &src.out, &src.stash);
+      FlushOut(out, &src.out, &src.stash);
       src.final_sent = true;
       src.busy.store(false);
       if (src.stash.empty() || cancel_.load() ||
@@ -522,8 +619,8 @@ void JobRunner::RunSource(size_t source_index) {
   }
 }
 
-bool JobRunner::ProcessElement(Instance* instance, Element element) {
-  RunnerEmitter emitter(this, instance, &JobRunner::Dispatch);
+bool JobRunner::ProcessControl(Instance* instance, const Element& element) {
+  RunnerEmitter emitter(this, instance);
   auto aligned_watermark = [&]() {
     TimestampMs min_wm = kMaxWatermark;
     for (TimestampMs wm : instance->upstream_wm) min_wm = std::min(min_wm, wm);
@@ -538,51 +635,72 @@ bool JobRunner::ProcessElement(Instance* instance, Element element) {
     instance->late_dropped.store(instance->op->late_dropped());
   };
 
-  switch (element.kind) {
-    case Element::Kind::kRecord:
-      instance->op->ProcessRecord(element, &emitter);
-      update_state_gauges();
-      break;
-    case Element::Kind::kWatermark: {
-      size_t ch = static_cast<size_t>(element.from_channel);
-      if (ch < instance->upstream_wm.size()) {
-        instance->upstream_wm[ch] =
-            std::max(instance->upstream_wm[ch], element.event_time);
-      }
-      TimestampMs min_wm = aligned_watermark();
-      if (min_wm > instance->aligned) {
-        instance->aligned = min_wm;
-        instance->op->OnWatermark(instance->aligned, &emitter);
-        update_state_gauges();
-        if (instance->output != nullptr) {
-          Element forward = Element::Watermark(instance->aligned);
-          forward.from_channel = instance->index;
-          Broadcast(std::move(forward), *instance->output, &instance->stash);
-        }
-      }
-      break;
+  if (element.kind == Element::Kind::kWatermark) {
+    size_t ch = static_cast<size_t>(element.from_channel);
+    if (ch < instance->upstream_wm.size()) {
+      instance->upstream_wm[ch] =
+          std::max(instance->upstream_wm[ch], element.event_time);
     }
-    case Element::Kind::kEnd: {
-      size_t ch = static_cast<size_t>(element.from_channel);
-      if (ch < instance->upstream_wm.size()) {
-        instance->upstream_wm[ch] = kMaxWatermark;
+    TimestampMs min_wm = aligned_watermark();
+    if (min_wm > instance->aligned) {
+      instance->aligned = min_wm;
+      instance->op->OnWatermark(instance->aligned, &emitter);
+      update_state_gauges();
+      if (instance->output != nullptr) {
+        Element forward = Element::Watermark(instance->aligned);
+        forward.from_channel = instance->index;
+        EmitControl(forward, *instance->output, &instance->out, &instance->stash);
       }
-      --instance->ends_remaining;
-      TimestampMs min_wm = aligned_watermark();
-      if (min_wm > instance->aligned) {
-        instance->aligned = min_wm;
-        instance->op->OnWatermark(instance->aligned, &emitter);
-        update_state_gauges();
+    }
+    return false;
+  }
+  // kEnd.
+  size_t ch = static_cast<size_t>(element.from_channel);
+  if (ch < instance->upstream_wm.size()) {
+    instance->upstream_wm[ch] = kMaxWatermark;
+  }
+  --instance->ends_remaining;
+  TimestampMs min_wm = aligned_watermark();
+  if (min_wm > instance->aligned) {
+    instance->aligned = min_wm;
+    instance->op->OnWatermark(instance->aligned, &emitter);
+    update_state_gauges();
+  }
+  if (instance->ends_remaining == 0) {
+    if (instance->output != nullptr) {
+      Element forward = Element::End();
+      forward.from_channel = instance->index;
+      EmitControl(forward, *instance->output, &instance->out, &instance->stash);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool JobRunner::ProcessBatchElements(Instance* instance, ElementBatch& batch) {
+  RunnerEmitter emitter(this, instance);
+  const size_t n = batch.items.size();
+  size_t i = 0;
+  while (i < n) {
+    if (batch.items[i].kind == Element::Kind::kRecord) {
+      size_t j = i + 1;
+      while (j < n && batch.items[j].kind == Element::Kind::kRecord) ++j;
+      // Contiguous record run: one virtual call, one state-gauge update.
+      instance->op->ProcessBatch(&batch.items[i], j - i, &emitter);
+      int64_t bytes = instance->op->StateBytes();
+      instance->state_bytes.store(bytes);
+      if (bytes > instance->peak_state_bytes.load()) {
+        instance->peak_state_bytes.store(bytes);
       }
-      if (instance->ends_remaining == 0) {
-        if (instance->output != nullptr) {
-          Element forward = Element::End();
-          forward.from_channel = instance->index;
-          Broadcast(std::move(forward), *instance->output, &instance->stash);
-        }
+      instance->late_dropped.store(instance->op->late_dropped());
+      i = j;
+    } else {
+      if (ProcessControl(instance, batch.items[i])) {
+        // Final End is always the last element of the last live producer's
+        // batch, so nothing follows it.
         return true;
       }
-      break;
+      ++i;
     }
   }
   return false;
@@ -600,6 +718,11 @@ void JobRunner::RunInstance(Instance* instance) {
       instance->scheduled.store(false, std::memory_order_release);
     }
   };
+  auto flush_output = [this, instance] {
+    if (instance->output != nullptr) {
+      FlushOut(*instance->output, &instance->out, &instance->stash);
+    }
+  };
   if (instance->exiting) {
     // Final End already processed: drain whatever that emitted, then leave
     // for good (nothing more arrives after End). Never blocks a pool
@@ -613,18 +736,22 @@ void JobRunner::RunInstance(Instance* instance) {
     return;
   }
   int budget = kInstanceTaskBudget;
-  while (budget-- > 0) {
+  while (budget > 0) {
     if (!FlushStash(instance->stash)) {
-      // Downstream full: yield; pool FIFO runs the downstream task first.
+      // Downstream full: park pending output in the stash and yield; pool
+      // FIFO runs the downstream task first.
+      flush_output();
       resubmit();
       return;
     }
-    std::optional<Element> element = instance->queue->TryPop();
-    if (!element.has_value()) break;
-    bool exited = ProcessElement(instance, std::move(*element));
-    in_flight_.fetch_sub(1);
+    std::optional<ElementBatch> batch = instance->queue->TryPop();
+    if (!batch.has_value()) break;
+    budget -= static_cast<int>(batch->items.size());
+    bool exited = ProcessBatchElements(instance, *batch);
+    in_flight_.fetch_sub(static_cast<int64_t>(batch->items.size()));
     if (exited) {
       instance->exiting = true;
+      flush_output();
       if (!FlushStash(instance->stash)) {
         resubmit();
         return;
@@ -634,6 +761,9 @@ void JobRunner::RunInstance(Instance* instance) {
       return;
     }
   }
+  // Nothing may linger in the pending output while this task idles — flush
+  // to queue or stash before deciding whether to reschedule.
+  flush_output();
   if (!instance->stash.empty() || instance->queue->Size() > 0) {
     resubmit();
     return;
@@ -682,10 +812,19 @@ Result<int64_t> JobRunner::TriggerCheckpoint() {
           std::to_string(src.positions[p].load());
     }
   }
+  // Every graph transform keeps its own entry regardless of chaining, so
+  // checkpoints written with chaining on restore with it off and vice
+  // versa: a chain's state lives under its first transform's key and its
+  // followers (stateless by construction) store "".
   for (size_t s = 0; s + 1 < stages_.size(); ++s) {
+    const StagePlan& plan = plans_[s];
     for (auto& inst : stages_[s]) {
-      data.entries["op." + std::to_string(s) + "." + std::to_string(inst->index)] =
-          inst->op->SnapshotState();
+      data.entries["op." + std::to_string(plan.first) + "." +
+                   std::to_string(inst->index)] = inst->op->SnapshotState();
+      for (size_t t = plan.first + 1; t <= plan.last; ++t) {
+        data.entries["op." + std::to_string(t) + "." +
+                     std::to_string(inst->index)] = "";
+      }
     }
   }
   // Save is idempotent (same keys, same bytes), so retrying the whole write

@@ -29,6 +29,19 @@ struct JobRunnerOptions {
   /// compared in Section 4.2 and bench C2).
   size_t channel_capacity = 1024;
   size_t source_poll_batch = 256;
+  /// Max records per ElementBatch flowing through a channel. Batching
+  /// amortizes queue mutexes, wakeup CASes and in-flight bookkeeping across
+  /// the batch (Section 4.2's pipelined network buffers). <= 1 reproduces
+  /// the per-record dataflow of the seed — each element travels alone and
+  /// sources fall back to the deep-copy Fetch path — which the bench keeps
+  /// as its baseline.
+  size_t max_batch_records = 256;
+  /// Fuse consecutive same-parallelism stateless transforms (map / filter /
+  /// flatmap) into one operator instance per parallel slot, eliminating the
+  /// intermediate channel hop entirely (Flink task chaining). Checkpoints
+  /// stay compatible both ways: every graph transform keeps its own
+  /// `op.<index>.<instance>` entry, with chained followers snapshotting "".
+  bool enable_chaining = true;
   /// When false the job manager never snapshots this job; recovery
   /// recomputes state from the stream (the surge tuning of Section 5.1).
   bool periodic_checkpoints = true;
@@ -72,6 +85,13 @@ class JobRunner {
   struct Instance;
   struct SourceState;
   struct PendingPush;
+  struct OutBuffer;
+
+  /// Routes one record into the producer's per-target pending batch
+  /// (keyed / round-robin partitioning), flushing the target at the batch
+  /// cap. Public only for the emitter glue in the .cc.
+  void EmitRecord(Element element, Wiring& wiring, OutBuffer* out,
+                  std::deque<PendingPush>* stash);
 
   JobRunner(JobGraph graph, stream::MessageBus* bus, storage::ObjectStore* store,
             JobRunnerOptions options = JobRunnerOptions());
@@ -131,15 +151,39 @@ class JobRunner {
   const JobGraph& graph() const { return graph_; }
 
  private:
+  /// One fused pipeline stage: graph transforms [first..last] running as one
+  /// operator per parallel slot. Stateful transforms always form a
+  /// single-transform stage; chains cover runs of stateless transforms with
+  /// one parallelism. The final plan is the sink.
+  struct StagePlan {
+    size_t first = 0;
+    size_t last = 0;  ///< inclusive
+    int32_t parallelism = 1;
+    bool is_sink = false;
+  };
+
   /// One scheduling quantum of an operator instance: flush stash, drain up
   /// to a budget of elements, reschedule or go idle (wake-on-push).
   void RunInstance(Instance* instance);
   /// One poll cycle of a source, then self-reschedule until done/cancelled.
   void RunSource(size_t source_index);
-  /// Returns true when the instance saw its final End and exited.
-  bool ProcessElement(Instance* instance, Element element);
-  void Dispatch(Element element, Wiring& wiring, std::deque<PendingPush>* stash);
-  void Broadcast(Element element, Wiring& wiring, std::deque<PendingPush>* stash);
+  /// Runs every element of a channel batch through the operator, handing
+  /// contiguous record runs to ProcessBatch. True when the instance saw its
+  /// final End and must exit.
+  bool ProcessBatchElements(Instance* instance, ElementBatch& batch);
+  /// Watermark / End handling; true on final End.
+  bool ProcessControl(Instance* instance, const Element& element);
+  /// Appends a control element (watermark / End) to every target's pending
+  /// batch — control rides behind the records that preceded it.
+  void EmitControl(const Element& element, Wiring& wiring, OutBuffer* out,
+                   std::deque<PendingPush>* stash);
+  /// Pushes one target's pending batch downstream (stash on backpressure).
+  void FlushTarget(size_t target, Wiring& wiring, OutBuffer* out,
+                   std::deque<PendingPush>* stash);
+  /// Flushes every target's pending batch. Producers call this before going
+  /// idle / yielding so no element ever waits in a pending buffer while its
+  /// producer sleeps.
+  void FlushOut(Wiring& wiring, OutBuffer* out, std::deque<PendingPush>* stash);
   /// Retries stashed pushes; true when the stash is empty afterwards.
   bool FlushStash(std::deque<PendingPush>& stash);
   /// Schedules the instance's task if it is not already scheduled.
@@ -159,9 +203,12 @@ class JobRunner {
   common::WaitGroup tasks_wg_;  ///< counts queued+running pool tasks
 
   std::vector<std::unique_ptr<SourceState>> source_states_;
-  // stages_[i] = instances of transform i; the final entry is the sink stage.
+  // plans_[i] describes stage i (a transform, a fused chain, or the sink);
+  // stages_[i] holds its instances and wirings_[i] feeds it.
+  std::vector<StagePlan> plans_;
   std::vector<std::vector<std::unique_ptr<Instance>>> stages_;
   std::vector<std::unique_ptr<Wiring>> wirings_;  // wirings_[i] feeds stage i
+  size_t max_batch_ = 1;  ///< max(1, options_.max_batch_records)
 
   std::atomic<bool> running_{false};
   std::atomic<bool> finished_{false};

@@ -30,6 +30,15 @@ class OperatorInstance {
   /// Processes one data record. `element.side` distinguishes join inputs.
   virtual void ProcessRecord(const Element& element, Emitter* out) = 0;
 
+  /// Processes a contiguous run of data records (no watermarks/ends). The
+  /// default is the per-record loop; vectorizable operators override to
+  /// amortize per-record overheads (virtual dispatch, key-scratch setup)
+  /// across the run. The runner splits channel batches into record runs and
+  /// control elements, so overrides never see non-records.
+  virtual void ProcessBatch(const Element* elements, size_t count, Emitter* out) {
+    for (size_t i = 0; i < count; ++i) ProcessRecord(elements[i], out);
+  }
+
   /// Called when the instance's aligned watermark (min across input
   /// channels) advances. Window operators fire here.
   virtual void OnWatermark(TimestampMs watermark, Emitter* out) {
@@ -59,6 +68,18 @@ std::unique_ptr<OperatorInstance> CreateOperatorInstance(const TransformSpec& sp
                                                          const RowSchema& input,
                                                          const RowSchema& left,
                                                          const RowSchema& right);
+
+/// True for the stateless record transforms (map/filter/flatmap) that are
+/// eligible for operator chaining — they keep no keyed state, need no keyed
+/// partitioning of their input, and snapshot nothing.
+bool IsStatelessTransform(const TransformSpec& spec);
+
+/// Fuses consecutive stateless transforms into one instance (Flink task
+/// chaining, Section 4.2): records flow through the chain as local calls
+/// with zero intermediate channel hops. `specs` must all satisfy
+/// IsStatelessTransform and share one parallelism.
+std::unique_ptr<OperatorInstance> CreateChainedOperatorInstance(
+    std::vector<TransformSpec> specs);
 
 }  // namespace uberrt::compute
 

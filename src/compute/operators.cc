@@ -6,27 +6,44 @@ namespace uberrt::compute {
 
 namespace {
 
-/// Stateless record-at-a-time operator (map / filter / flatmap) — the
-/// CPU-bound job class of Section 4.2.1.
+/// Stateless operator (map / filter / flatmap) — the CPU-bound job class of
+/// Section 4.2.1. ProcessBatch hoists the kind switch and the std::function
+/// indirection setup out of the per-record loop.
 class StatelessOperator : public OperatorInstance {
  public:
   explicit StatelessOperator(const TransformSpec& spec) : spec_(spec) {}
 
   void ProcessRecord(const Element& element, Emitter* out) override {
+    ProcessBatch(&element, 1, out);
+  }
+
+  void ProcessBatch(const Element* elements, size_t count, Emitter* out) override {
     switch (spec_.kind) {
-      case TransformSpec::Kind::kMap:
-        out->Emit(spec_.map_fn(element.row), element.event_time);
-        break;
-      case TransformSpec::Kind::kFilter:
-        if (spec_.filter_fn(element.row)) {
-          out->Emit(element.row, element.event_time);
+      case TransformSpec::Kind::kMap: {
+        const auto& fn = spec_.map_fn;
+        for (size_t i = 0; i < count; ++i) {
+          out->Emit(fn(elements[i].row), elements[i].event_time);
         }
         break;
-      case TransformSpec::Kind::kFlatMap:
-        for (Row& row : spec_.flatmap_fn(element.row)) {
-          out->Emit(std::move(row), element.event_time);
+      }
+      case TransformSpec::Kind::kFilter: {
+        const auto& fn = spec_.filter_fn;
+        for (size_t i = 0; i < count; ++i) {
+          if (fn(elements[i].row)) {
+            out->Emit(elements[i].row, elements[i].event_time);
+          }
         }
         break;
+      }
+      case TransformSpec::Kind::kFlatMap: {
+        const auto& fn = spec_.flatmap_fn;
+        for (size_t i = 0; i < count; ++i) {
+          for (Row& row : fn(elements[i].row)) {
+            out->Emit(std::move(row), elements[i].event_time);
+          }
+        }
+        break;
+      }
       default:
         break;
     }
@@ -36,7 +53,71 @@ class StatelessOperator : public OperatorInstance {
   TransformSpec spec_;
 };
 
+/// A fused chain of stateless transforms running as one instance: each
+/// record walks the chain with plain calls, so the intermediate channel
+/// hops (queue mutex, wakeup CAS, in-flight accounting) between chained
+/// stages disappear entirely (Flink task chaining, Section 4.2).
+class ChainedStatelessOperator : public OperatorInstance {
+ public:
+  explicit ChainedStatelessOperator(std::vector<TransformSpec> specs)
+      : specs_(std::move(specs)) {}
+
+  void ProcessRecord(const Element& element, Emitter* out) override {
+    Apply(0, element.row, element.event_time, out);
+  }
+
+  void ProcessBatch(const Element* elements, size_t count, Emitter* out) override {
+    for (size_t i = 0; i < count; ++i) {
+      Apply(0, elements[i].row, elements[i].event_time, out);
+    }
+  }
+
+ private:
+  /// Runs the record through specs_[stage..]; emits the survivors.
+  void Apply(size_t stage, const Row& row, TimestampMs event_time, Emitter* out) {
+    for (; stage < specs_.size(); ++stage) {
+      const TransformSpec& spec = specs_[stage];
+      switch (spec.kind) {
+        case TransformSpec::Kind::kMap: {
+          Row mapped = spec.map_fn(row);
+          // Tail the rest of the chain on the mapped row; recursion depth is
+          // bounded by the chain length.
+          Apply(stage + 1, mapped, event_time, out);
+          return;
+        }
+        case TransformSpec::Kind::kFilter:
+          if (!spec.filter_fn(row)) return;
+          break;  // fall through to the next stage with the same row
+        case TransformSpec::Kind::kFlatMap: {
+          for (Row& expanded : spec.flatmap_fn(row)) {
+            Apply(stage + 1, expanded, event_time, out);
+          }
+          return;
+        }
+        default:
+          return;  // stateful kinds are never chained
+      }
+    }
+    out->Emit(row, event_time);
+  }
+
+  std::vector<TransformSpec> specs_;
+};
+
 }  // namespace
+
+bool IsStatelessTransform(const TransformSpec& spec) {
+  switch (spec.kind) {
+    case TransformSpec::Kind::kMap:
+    case TransformSpec::Kind::kFilter:
+    case TransformSpec::Kind::kFlatMap:
+      return true;
+    case TransformSpec::Kind::kWindowAggregate:
+    case TransformSpec::Kind::kWindowJoin:
+      return false;
+  }
+  return false;
+}
 
 std::unique_ptr<OperatorInstance> CreateOperatorInstance(const TransformSpec& spec,
                                                          const RowSchema& input,
@@ -53,6 +134,12 @@ std::unique_ptr<OperatorInstance> CreateOperatorInstance(const TransformSpec& sp
       return std::make_unique<WindowJoinOperator>(spec, left, right);
   }
   return nullptr;
+}
+
+std::unique_ptr<OperatorInstance> CreateChainedOperatorInstance(
+    std::vector<TransformSpec> specs) {
+  if (specs.size() == 1) return std::make_unique<StatelessOperator>(specs[0]);
+  return std::make_unique<ChainedStatelessOperator>(std::move(specs));
 }
 
 }  // namespace uberrt::compute

@@ -1,7 +1,9 @@
 #include "compute/window_operator.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/hash.h"
 #include "storage/archive.h"
 
 namespace uberrt::compute {
@@ -19,15 +21,28 @@ int64_t ApproxRowBytes(const Row& row) {
 
 }  // namespace
 
-std::string EncodeKey(const Row& row, const std::vector<int>& key_indices) {
-  Row key_row;
-  key_row.reserve(key_indices.size());
+void EncodeKeyTo(const Row& row, const std::vector<int>& key_indices,
+                 std::string* out) {
+  out->clear();
+  // Same bytes as EncodeRow of the key-field Row: u32 count then tagged
+  // values, with out-of-range indices encoded as nulls.
+  uint32_t count = static_cast<uint32_t>(key_indices.size());
+  char buf[4];
+  std::memcpy(buf, &count, 4);
+  out->append(buf, 4);
   for (int idx : key_indices) {
-    key_row.push_back(idx >= 0 && idx < static_cast<int>(row.size())
-                          ? row[static_cast<size_t>(idx)]
-                          : Value::Null());
+    if (idx >= 0 && idx < static_cast<int>(row.size())) {
+      AppendValue(out, row[static_cast<size_t>(idx)]);
+    } else {
+      AppendValue(out, Value::Null());
+    }
   }
-  return EncodeRow(key_row);
+}
+
+std::string EncodeKey(const Row& row, const std::vector<int>& key_indices) {
+  std::string out;
+  EncodeKeyTo(row, key_indices, &out);
+  return out;
 }
 
 std::vector<int> ResolveIndices(const RowSchema& schema,
@@ -80,43 +95,56 @@ std::vector<TimestampMs> WindowAggregateOperator::AssignWindows(TimestampMs t) c
   return starts;
 }
 
-void WindowAggregateOperator::AddToWindow(const std::string& key, const Row& key_values,
-                                          TimestampMs start, TimestampMs end,
-                                          const Row& row) {
-  WindowKey wk{key, start};
-  auto it = windows_.find(wk);
-  if (it == windows_.end()) {
-    WindowState ws;
-    ws.key_values = key_values;
+Row WindowAggregateOperator::KeyValues(const Row& row) const {
+  Row key_values;
+  key_values.reserve(key_indices_.size());
+  for (int idx : key_indices_) {
+    key_values.push_back(idx >= 0 && idx < static_cast<int>(row.size())
+                             ? row[static_cast<size_t>(idx)]
+                             : Value::Null());
+  }
+  return key_values;
+}
+
+int64_t WindowAggregateOperator::WindowStateBytes(const WindowState& ws) const {
+  return ApproxRowBytes(ws.key_values) +
+         static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
+}
+
+void WindowAggregateOperator::AddToWindow(uint64_t key_hash, std::string_view key,
+                                          const Row& source_row, TimestampMs start,
+                                          TimestampMs end) {
+  bool inserted = false;
+  WindowState& ws = windows_.FindOrInsert(key_hash, key, start, &inserted);
+  if (inserted) {
+    ws.key_values = KeyValues(source_row);
     ws.end = end;
     ws.accumulators.resize(spec_.aggregates.size());
-    state_bytes_ += ApproxRowBytes(key_values) +
-                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
-    it = windows_.emplace(wk, std::move(ws)).first;
+    state_bytes_ += WindowStateBytes(ws);
   }
   for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
     int idx = agg_indices_[a];
     double v = 0.0;
-    if (idx >= 0 && idx < static_cast<int>(row.size())) {
-      v = row[static_cast<size_t>(idx)].ToNumeric();
+    if (idx >= 0 && idx < static_cast<int>(source_row.size())) {
+      v = source_row[static_cast<size_t>(idx)].ToNumeric();
     }
-    it->second.accumulators[a].Add(v);
+    ws.accumulators[a].Add(v);
   }
 }
 
-void WindowAggregateOperator::AddToSession(const std::string& key, const Row& key_values,
-                                           TimestampMs t, const Row& row) {
+void WindowAggregateOperator::AddToSession(uint64_t key_hash, std::string_view key,
+                                           const Row& source_row, TimestampMs t) {
   // A session for this record spans [t, t + gap). Find overlapping sessions
   // of the same key and merge them.
   TimestampMs new_start = t;
   TimestampMs new_end = t + spec_.window.gap_ms;
   std::vector<Accumulator> merged(spec_.aggregates.size());
-  // Collect overlapping sessions (same key, [start,end) intersects).
-  std::vector<WindowKey> to_erase;
-  for (auto& [wk, ws] : windows_) {
-    if (wk.key != key) continue;
-    if (wk.start <= new_end && ws.end >= new_start) {
-      new_start = std::min(new_start, wk.start);
+  std::vector<TimestampMs> to_erase;
+  windows_.ForEachMutable([&](FlatKeyedMap<WindowState>::Entry& entry) {
+    if (entry.hash != key_hash || entry.key != key) return;
+    WindowState& ws = entry.value;
+    if (entry.start <= new_end && ws.end >= new_start) {
+      new_start = std::min(new_start, entry.start);
       new_end = std::max(new_end, ws.end);
       for (size_t a = 0; a < merged.size(); ++a) {
         const Accumulator& acc = ws.accumulators[a];
@@ -131,45 +159,41 @@ void WindowAggregateOperator::AddToSession(const std::string& key, const Row& ke
           }
         }
       }
-      to_erase.push_back(wk);
+      to_erase.push_back(entry.start);
     }
+  });
+  for (TimestampMs start : to_erase) {
+    WindowState* ws = windows_.Find(key_hash, key, start);
+    if (ws != nullptr) state_bytes_ -= WindowStateBytes(*ws);
+    windows_.Erase(key_hash, key, start);
   }
-  for (const WindowKey& wk : to_erase) {
-    state_bytes_ -= ApproxRowBytes(windows_[wk].key_values) +
-                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
-    windows_.erase(wk);
-  }
-  WindowState ws;
-  ws.key_values = key_values;
+  bool inserted = false;
+  WindowState& ws = windows_.FindOrInsert(key_hash, key, new_start, &inserted);
+  ws.key_values = KeyValues(source_row);
   ws.end = new_end;
   ws.accumulators = std::move(merged);
-  state_bytes_ += ApproxRowBytes(key_values) +
-                  static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
-  auto it = windows_.emplace(WindowKey{key, new_start}, std::move(ws)).first;
+  state_bytes_ += WindowStateBytes(ws);
   for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
     int idx = agg_indices_[a];
     double v = 0.0;
-    if (idx >= 0 && idx < static_cast<int>(row.size())) {
-      v = row[static_cast<size_t>(idx)].ToNumeric();
+    if (idx >= 0 && idx < static_cast<int>(source_row.size())) {
+      v = source_row[static_cast<size_t>(idx)].ToNumeric();
     }
-    it->second.accumulators[a].Add(v);
+    ws.accumulators[a].Add(v);
   }
 }
 
 void WindowAggregateOperator::ProcessRecord(const Element& element, Emitter* out) {
   (void)out;
   TimestampMs t = element.event_time;
-  std::string key = EncodeKey(element.row, key_indices_);
-  Row key_values;
-  for (int idx : key_indices_) {
-    key_values.push_back(idx >= 0 ? element.row[static_cast<size_t>(idx)] : Value::Null());
-  }
+  EncodeKeyTo(element.row, key_indices_, &key_scratch_);
+  uint64_t key_hash = Fnv1a64(key_scratch_);
   if (spec_.window.type == WindowSpec::Type::kSession) {
     if (t + spec_.window.gap_ms + spec_.allowed_lateness_ms <= current_watermark_) {
       ++late_dropped_;
       return;
     }
-    AddToSession(key, key_values, t, element.row);
+    AddToSession(key_hash, key_scratch_, element.row, t);
     return;
   }
   for (TimestampMs start : AssignWindows(t)) {
@@ -178,14 +202,14 @@ void WindowAggregateOperator::ProcessRecord(const Element& element, Emitter* out
       ++late_dropped_;
       continue;
     }
-    AddToWindow(key, key_values, start, end, element.row);
+    AddToWindow(key_hash, key_scratch_, element.row, start, end);
   }
 }
 
-void WindowAggregateOperator::Fire(const WindowKey& wk, const WindowState& ws,
+void WindowAggregateOperator::Fire(TimestampMs start, const WindowState& ws,
                                    Emitter* out) {
   Row result = ws.key_values;
-  result.push_back(Value(static_cast<int64_t>(wk.start)));
+  result.push_back(Value(static_cast<int64_t>(start)));
   for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
     result.push_back(ws.accumulators[a].Finish(spec_.aggregates[a].kind));
   }
@@ -196,32 +220,46 @@ void WindowAggregateOperator::OnWatermark(TimestampMs watermark, Emitter* out) {
   current_watermark_ = std::max(current_watermark_, watermark);
   // Fire windows whose end + lateness has passed. Session windows may keep
   // extending, but once the watermark passes end + gap no record can extend
-  // them (later records would open a new session past end).
-  std::vector<WindowKey> fired;
-  for (const auto& [wk, ws] : windows_) {
-    TimestampMs fire_at = ws.end + spec_.allowed_lateness_ms;
+  // them (later records would open a new session past end). Fired windows
+  // are sorted by (start, key) — the retired std::map's iteration order — so
+  // emission order is unchanged by the flat-hash migration.
+  struct FiredWindow {
+    TimestampMs start;
+    std::string key;
+    uint64_t hash;
+  };
+  std::vector<FiredWindow> fired;
+  windows_.ForEach([&](const FlatKeyedMap<WindowState>::Entry& entry) {
+    TimestampMs fire_at = entry.value.end + spec_.allowed_lateness_ms;
     if (watermark == kMaxWatermark || fire_at <= watermark) {
-      fired.push_back(wk);
+      fired.push_back({entry.start, entry.key, entry.hash});
     }
-  }
-  for (const WindowKey& wk : fired) {
-    auto it = windows_.find(wk);
-    Fire(wk, it->second, out);
-    state_bytes_ -= ApproxRowBytes(it->second.key_values) +
-                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
-    windows_.erase(it);
+  });
+  std::sort(fired.begin(), fired.end(), [](const FiredWindow& a, const FiredWindow& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.key < b.key;
+  });
+  for (const FiredWindow& fw : fired) {
+    WindowState* ws = windows_.Find(fw.hash, fw.key, fw.start);
+    if (ws == nullptr) continue;
+    Fire(fw.start, *ws, out);
+    state_bytes_ -= WindowStateBytes(*ws);
+    windows_.Erase(fw.hash, fw.key, fw.start);
   }
 }
 
 std::string WindowAggregateOperator::SnapshotState() const {
   // One row per live window:
   // [key(string), start, end, (count,sum,min,max) x aggregates]
+  // Sorted by (start, key), so blobs are byte-identical to the pre-flat-hash
+  // std::map encoding and deterministic across runs.
   std::vector<Row> rows;
   rows.reserve(windows_.size());
-  for (const auto& [wk, ws] : windows_) {
+  windows_.ForEach([&](const FlatKeyedMap<WindowState>::Entry& entry) {
+    const WindowState& ws = entry.value;
     Row row;
-    row.push_back(Value(wk.key));
-    row.push_back(Value(static_cast<int64_t>(wk.start)));
+    row.push_back(Value(entry.key));
+    row.push_back(Value(static_cast<int64_t>(entry.start)));
     row.push_back(Value(static_cast<int64_t>(ws.end)));
     row.push_back(Value(EncodeRow(ws.key_values)));
     for (const Accumulator& acc : ws.accumulators) {
@@ -231,24 +269,31 @@ std::string WindowAggregateOperator::SnapshotState() const {
       row.push_back(Value(acc.max));
     }
     rows.push_back(std::move(row));
-  }
+  });
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a[1].AsInt() != b[1].AsInt()) return a[1].AsInt() < b[1].AsInt();
+    return a[0].AsString() < b[0].AsString();
+  });
   return storage::EncodeRowBatch(rows);
 }
 
 Status WindowAggregateOperator::RestoreState(const std::string& blob) {
   Result<std::vector<Row>> rows = storage::DecodeRowBatch(blob);
   if (!rows.ok()) return rows.status();
-  windows_.clear();
+  windows_.Clear();
   state_bytes_ = 0;
   for (const Row& row : rows.value()) {
     size_t expected = 4 + spec_.aggregates.size() * 4;
     if (row.size() != expected) return Status::Corruption("window state row size");
-    WindowKey wk{row[0].AsString(), row[1].AsInt()};
-    WindowState ws;
+    const std::string& key = row[0].AsString();
+    TimestampMs start = row[1].AsInt();
+    bool inserted = false;
+    WindowState& ws = windows_.FindOrInsert(Fnv1a64(key), key, start, &inserted);
     ws.end = row[2].AsInt();
     Result<Row> key_values = DecodeRow(row[3].AsString());
     if (!key_values.ok()) return key_values.status();
     ws.key_values = std::move(key_values.value());
+    ws.accumulators.clear();
     for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
       Accumulator acc;
       acc.count = row[4 + a * 4].AsInt();
@@ -257,9 +302,7 @@ Status WindowAggregateOperator::RestoreState(const std::string& blob) {
       acc.max = row[7 + a * 4].AsDouble();
       ws.accumulators.push_back(acc);
     }
-    state_bytes_ += ApproxRowBytes(ws.key_values) +
-                    static_cast<int64_t>(spec_.aggregates.size()) * 40 + 48;
-    windows_.emplace(wk, std::move(ws));
+    state_bytes_ += WindowStateBytes(ws);
   }
   return Status::Ok();
 }
@@ -298,9 +341,11 @@ void WindowJoinOperator::ProcessRecord(const Element& element, Emitter* out) {
     return;
   }
   bool is_left = element.side == 0;
-  std::string key = EncodeKey(element.row,
-                              is_left ? left_key_indices_ : right_key_indices_);
-  Buffers& buffers = buffers_[BufferKey{key, start}];
+  EncodeKeyTo(element.row, is_left ? left_key_indices_ : right_key_indices_,
+              &key_scratch_);
+  uint64_t key_hash = Fnv1a64(key_scratch_);
+  bool inserted = false;
+  Buffers& buffers = buffers_.FindOrInsert(key_hash, key_scratch_, start, &inserted);
   if (is_left) {
     for (const auto& [right_row, right_time] : buffers.right) {
       out->Emit(JoinRows(element.row, right_row), std::max(t, right_time));
@@ -318,33 +363,55 @@ void WindowJoinOperator::ProcessRecord(const Element& element, Emitter* out) {
 void WindowJoinOperator::OnWatermark(TimestampMs watermark, Emitter* out) {
   (void)out;
   current_watermark_ = std::max(current_watermark_, watermark);
-  std::vector<BufferKey> expired;
-  for (const auto& [bk, buffers] : buffers_) {
-    TimestampMs end = bk.start + spec_.window.size_ms;
+  struct Expired {
+    TimestampMs start;
+    std::string key;
+    uint64_t hash;
+  };
+  std::vector<Expired> expired;
+  buffers_.ForEach([&](const FlatKeyedMap<Buffers>::Entry& entry) {
+    TimestampMs end = entry.start + spec_.window.size_ms;
     if (watermark == kMaxWatermark ||
         end + spec_.allowed_lateness_ms <= watermark) {
-      expired.push_back(bk);
+      expired.push_back({entry.start, entry.key, entry.hash});
     }
-  }
-  for (const BufferKey& bk : expired) {
-    const Buffers& buffers = buffers_[bk];
-    for (const auto& [row, t] : buffers.left) state_bytes_ -= ApproxRowBytes(row);
-    for (const auto& [row, t] : buffers.right) state_bytes_ -= ApproxRowBytes(row);
-    buffers_.erase(bk);
+  });
+  for (const Expired& e : expired) {
+    Buffers* buffers = buffers_.Find(e.hash, e.key, e.start);
+    if (buffers == nullptr) continue;
+    for (const auto& [row, t] : buffers->left) state_bytes_ -= ApproxRowBytes(row);
+    for (const auto& [row, t] : buffers->right) state_bytes_ -= ApproxRowBytes(row);
+    buffers_.Erase(e.hash, e.key, e.start);
   }
 }
 
 std::string WindowJoinOperator::SnapshotState() const {
-  // One row per buffered record: [key, start, side, event_time, enc_row]
+  // One row per buffered record: [key, start, side, event_time, enc_row].
+  // Buckets sorted by (start, key) with left rows before right, matching the
+  // pre-flat-hash std::map blob byte for byte.
+  struct Bucket {
+    TimestampMs start;
+    const std::string* key;
+    const Buffers* buffers;
+  };
+  std::vector<Bucket> buckets;
+  buckets.reserve(buffers_.size());
+  buffers_.ForEach([&](const FlatKeyedMap<Buffers>::Entry& entry) {
+    buckets.push_back({entry.start, &entry.key, &entry.value});
+  });
+  std::sort(buckets.begin(), buckets.end(), [](const Bucket& a, const Bucket& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return *a.key < *b.key;
+  });
   std::vector<Row> rows;
-  for (const auto& [bk, buffers] : buffers_) {
-    for (const auto& [row, t] : buffers.left) {
-      rows.push_back({Value(bk.key), Value(static_cast<int64_t>(bk.start)),
+  for (const Bucket& bucket : buckets) {
+    for (const auto& [row, t] : bucket.buffers->left) {
+      rows.push_back({Value(*bucket.key), Value(static_cast<int64_t>(bucket.start)),
                       Value(static_cast<int64_t>(0)), Value(static_cast<int64_t>(t)),
                       Value(EncodeRow(row))});
     }
-    for (const auto& [row, t] : buffers.right) {
-      rows.push_back({Value(bk.key), Value(static_cast<int64_t>(bk.start)),
+    for (const auto& [row, t] : bucket.buffers->right) {
+      rows.push_back({Value(*bucket.key), Value(static_cast<int64_t>(bucket.start)),
                       Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(t)),
                       Value(EncodeRow(row))});
     }
@@ -355,18 +422,21 @@ std::string WindowJoinOperator::SnapshotState() const {
 Status WindowJoinOperator::RestoreState(const std::string& blob) {
   Result<std::vector<Row>> rows = storage::DecodeRowBatch(blob);
   if (!rows.ok()) return rows.status();
-  buffers_.clear();
+  buffers_.Clear();
   state_bytes_ = 0;
   for (const Row& row : rows.value()) {
     if (row.size() != 5) return Status::Corruption("join state row size");
-    BufferKey bk{row[0].AsString(), row[1].AsInt()};
+    const std::string& key = row[0].AsString();
+    TimestampMs start = row[1].AsInt();
     Result<Row> data = DecodeRow(row[4].AsString());
     if (!data.ok()) return data.status();
     state_bytes_ += ApproxRowBytes(data.value());
+    bool inserted = false;
+    Buffers& buffers = buffers_.FindOrInsert(Fnv1a64(key), key, start, &inserted);
     if (row[2].AsInt() == 0) {
-      buffers_[bk].left.emplace_back(std::move(data.value()), row[3].AsInt());
+      buffers.left.emplace_back(std::move(data.value()), row[3].AsInt());
     } else {
-      buffers_[bk].right.emplace_back(std::move(data.value()), row[3].AsInt());
+      buffers.right.emplace_back(std::move(data.value()), row[3].AsInt());
     }
   }
   return Status::Ok();

@@ -2,10 +2,11 @@
 #define UBERRT_COMPUTE_WINDOW_OPERATOR_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "compute/keyed_state.h"
 #include "compute/operator.h"
 
 namespace uberrt::compute {
@@ -55,14 +56,6 @@ class WindowAggregateOperator : public OperatorInstance {
   int64_t LiveWindows() const { return static_cast<int64_t>(windows_.size()); }
 
  private:
-  struct WindowKey {
-    std::string key;  ///< encoded key-field values
-    TimestampMs start = 0;
-    bool operator<(const WindowKey& other) const {
-      if (start != other.start) return start < other.start;
-      return key < other.key;
-    }
-  };
   struct WindowState {
     Row key_values;
     TimestampMs end = 0;  ///< exclusive
@@ -71,18 +64,29 @@ class WindowAggregateOperator : public OperatorInstance {
 
   /// Window start times the event timestamp falls into (non-session).
   std::vector<TimestampMs> AssignWindows(TimestampMs t) const;
-  void AddToWindow(const std::string& key, const Row& key_values, TimestampMs start,
-                   TimestampMs end, const Row& row);
-  void AddToSession(const std::string& key, const Row& key_values, TimestampMs t,
-                    const Row& row);
-  void Fire(const WindowKey& wk, const WindowState& ws, Emitter* out);
+  /// `key`/`key_hash` come from the reused scratch buffer; `row` feeds the
+  /// accumulators. Lazily materializes key_values from `source_row` only on
+  /// first touch of a window.
+  void AddToWindow(uint64_t key_hash, std::string_view key, const Row& source_row,
+                   TimestampMs start, TimestampMs end);
+  void AddToSession(uint64_t key_hash, std::string_view key, const Row& source_row,
+                    TimestampMs t);
+  void Fire(TimestampMs start, const WindowState& ws, Emitter* out);
+  Row KeyValues(const Row& row) const;
+  int64_t WindowStateBytes(const WindowState& ws) const;
 
   TransformSpec spec_;
   RowSchema input_;
   std::vector<int> key_indices_;
   std::vector<int> agg_indices_;
   TimestampMs current_watermark_ = INT64_MIN;
-  std::map<WindowKey, WindowState> windows_;
+  /// Keyed state in an open-addressing flat hash map over precomputed
+  /// FNV-1a hashes of the encoded key (see keyed_state.h). Snapshot blobs
+  /// stay format-compatible with the retired std::map layout: rows are
+  /// sorted by (start, key) before encoding, which was exactly the map's
+  /// iteration order.
+  FlatKeyedMap<WindowState> windows_;
+  std::string key_scratch_;  ///< reused per-record key encoding buffer
   int64_t late_dropped_ = 0;
   int64_t state_bytes_ = 0;
 };
@@ -104,14 +108,6 @@ class WindowJoinOperator : public OperatorInstance {
   int64_t late_dropped() const override { return late_dropped_; }
 
  private:
-  struct BufferKey {
-    std::string key;
-    TimestampMs start = 0;
-    bool operator<(const BufferKey& other) const {
-      if (start != other.start) return start < other.start;
-      return key < other.key;
-    }
-  };
   struct Buffers {
     std::vector<std::pair<Row, TimestampMs>> left;
     std::vector<std::pair<Row, TimestampMs>> right;
@@ -127,7 +123,9 @@ class WindowJoinOperator : public OperatorInstance {
   /// Right-schema field indices copied into the output (dup names dropped).
   std::vector<int> right_output_indices_;
   TimestampMs current_watermark_ = INT64_MIN;
-  std::map<BufferKey, Buffers> buffers_;
+  /// Same flat-hash keyed state design as WindowAggregateOperator.
+  FlatKeyedMap<Buffers> buffers_;
+  std::string key_scratch_;  ///< reused per-record key encoding buffer
   int64_t late_dropped_ = 0;
   int64_t state_bytes_ = 0;
 };
@@ -135,6 +133,12 @@ class WindowJoinOperator : public OperatorInstance {
 /// Encoded key-field values of a row (used for keyed partitioning by the
 /// runner as well, so records for one key land on one instance).
 std::string EncodeKey(const Row& row, const std::vector<int>& key_indices);
+
+/// Allocation-free variant: clears `out` and appends the encoded key-field
+/// values (same bytes as EncodeKey), reusing the buffer's capacity. Hot
+/// paths (keyed dispatch, window-state probes) pair this with Fnv1a64(*out).
+void EncodeKeyTo(const Row& row, const std::vector<int>& key_indices,
+                 std::string* out);
 
 /// Resolves field names to indices; missing fields become -1.
 std::vector<int> ResolveIndices(const RowSchema& schema,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "storage/archive.h"
 
 namespace uberrt::compute {
 namespace {
@@ -160,6 +161,64 @@ TEST(WindowAggregateOperatorTest, SnapshotRestoreIsExact) {
   EXPECT_EQ(a.rows, b.rows);
 }
 
+// Snapshot blobs written by the retired std::map-keyed implementation must
+// restore into the flat-hash keyed state unchanged, and re-snapshotting must
+// reproduce them byte for byte (rows sorted by (start, key) — the old map's
+// iteration order). Guards checkpoint compatibility across the migration.
+TEST(WindowAggregateOperatorTest, LegacyFormatBlobRoundTripsBitwise) {
+  TransformSpec spec;
+  spec.kind = TransformSpec::Kind::kWindowAggregate;
+  spec.name = "agg";
+  spec.key_fields = {"key"};
+  spec.window = WindowSpec::Tumbling(100);
+  spec.aggregates = {AggregateSpec::Count("n"), AggregateSpec::Sum("v", "s")};
+
+  // Build the blob exactly as the std::map<WindowKey, WindowState> encoder
+  // did: iterate (start, encoded key) in ascending order, one row per window
+  // of [key, start, end, EncodeRow(key_values), (count,sum,min,max) x aggs].
+  struct LegacyWindow {
+    Row key_values;
+    TimestampMs end;
+    int64_t count;
+    double sum;
+  };
+  std::map<std::pair<TimestampMs, std::string>, LegacyWindow> legacy;
+  legacy[{0, EncodeRow({Value("b")})}] = {{Value("b")}, 100, 2, 7.0};
+  legacy[{0, EncodeRow({Value("a")})}] = {{Value("a")}, 100, 3, 6.0};
+  legacy[{100, EncodeRow({Value("a")})}] = {{Value("a")}, 200, 1, 4.0};
+  std::vector<Row> blob_rows;
+  for (const auto& [wk, ws] : legacy) {
+    Row row{Value(wk.second), Value(static_cast<int64_t>(wk.first)),
+            Value(static_cast<int64_t>(ws.end)), Value(EncodeRow(ws.key_values))};
+    // Count accumulator: count only; min/max track the counted 1.0 samples.
+    row.insert(row.end(), {Value(ws.count), Value(static_cast<double>(ws.count)),
+                           Value(1.0), Value(1.0)});
+    // Sum accumulator.
+    row.insert(row.end(),
+               {Value(ws.count), Value(ws.sum), Value(1.0), Value(ws.sum)});
+    blob_rows.push_back(std::move(row));
+  }
+  std::string legacy_blob = storage::EncodeRowBatch(blob_rows);
+
+  WindowAggregateOperator op(spec, EventSchema());
+  ASSERT_TRUE(op.RestoreState(legacy_blob).ok());
+  EXPECT_EQ(op.LiveWindows(), 3);
+  EXPECT_EQ(op.SnapshotState(), legacy_blob);
+
+  // The restored windows fire with the legacy counts, oldest start first.
+  CollectingEmitter out;
+  op.OnWatermark(kMaxWatermark, &out);
+  ASSERT_EQ(out.rows.size(), 3u);
+  EXPECT_EQ(out.rows[0][0].AsString(), "a");
+  EXPECT_EQ(out.rows[0][1].AsInt(), 0);
+  EXPECT_EQ(out.rows[0][2].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(out.rows[0][3].AsDouble(), 6.0);
+  EXPECT_EQ(out.rows[1][0].AsString(), "b");
+  EXPECT_EQ(out.rows[1][2].AsInt(), 2);
+  EXPECT_EQ(out.rows[2][1].AsInt(), 100);
+  EXPECT_EQ(out.rows[2][2].AsInt(), 1);
+}
+
 TEST(WindowAggregateOperatorTest, RestoreRejectsCorruptState) {
   WindowAggregateOperator op(AggSpec(WindowSpec::Tumbling(100)), EventSchema());
   EXPECT_FALSE(op.RestoreState("junk").ok());
@@ -232,6 +291,40 @@ TEST(WindowJoinOperatorTest, SnapshotRestorePreservesBuffers) {
   restored.ProcessRecord(SideRecord(1, "a", 9.0, 30), &out);
   ASSERT_EQ(out.rows.size(), 1u);  // joins against the restored left buffer
   EXPECT_DOUBLE_EQ(out.rows[0][1].AsDouble(), 1.0);
+}
+
+TEST(WindowJoinOperatorTest, LegacyFormatBlobRoundTripsBitwise) {
+  // One row per buffered record, buckets ascending by (start, encoded key),
+  // left rows before right: [key, start, side, event_time, EncodeRow(row)] —
+  // the retired std::map<BufferKey, Buffers> encoding, which the flat-hash
+  // implementation must keep producing byte for byte.
+  Row left_a{Value("a"), Value(1.0)};
+  Row left_b{Value("b"), Value(2.0)};
+  Row right_a{Value("a"), Value(9.0)};
+  std::string key_a = EncodeRow({Value("a")});
+  std::string key_b = EncodeRow({Value("b")});
+  std::vector<Row> blob_rows;
+  blob_rows.push_back({Value(key_a), Value(static_cast<int64_t>(0)),
+                       Value(static_cast<int64_t>(0)), Value(static_cast<int64_t>(10)),
+                       Value(EncodeRow(left_a))});
+  blob_rows.push_back({Value(key_a), Value(static_cast<int64_t>(0)),
+                       Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(30)),
+                       Value(EncodeRow(right_a))});
+  blob_rows.push_back({Value(key_b), Value(static_cast<int64_t>(0)),
+                       Value(static_cast<int64_t>(0)), Value(static_cast<int64_t>(20)),
+                       Value(EncodeRow(left_b))});
+  std::string legacy_blob = storage::EncodeRowBatch(blob_rows);
+
+  WindowJoinOperator op(JoinSpec(), LeftSchema(), RightSchema());
+  ASSERT_TRUE(op.RestoreState(legacy_blob).ok());
+  EXPECT_EQ(op.SnapshotState(), legacy_blob);
+
+  // A new right record joins against the restored "a" left buffer only.
+  CollectingEmitter out;
+  op.ProcessRecord(SideRecord(1, "a", 5.0, 40), &out);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.rows[0][1].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(out.rows[0][2].AsDouble(), 5.0);
 }
 
 /// Property: for random streams, windowed counts from the operator equal a
